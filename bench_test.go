@@ -1,0 +1,413 @@
+// Package neurocuts holds the repository-level benchmark harness: one
+// testing.B benchmark per table and figure of the paper's evaluation section
+// (BenchmarkFigure5 … BenchmarkFigure11, BenchmarkTable1), plus
+// micro-benchmarks for the individual building blocks (tree construction per
+// algorithm, lookup throughput, policy inference).
+//
+// The figure benchmarks run the same harness code as cmd/evalbench but at a
+// reduced scale so `go test -bench=.` finishes in minutes; pass larger
+// scales through cmd/evalbench for full reproductions. EXPERIMENTS.md maps
+// each benchmark to the corresponding paper result.
+package neurocuts
+
+import (
+	"io"
+	"testing"
+
+	"neurocuts/internal/bench"
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/core"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/efficuts"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/packet"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tcam"
+	"neurocuts/internal/tree"
+	"neurocuts/internal/tss"
+)
+
+// benchOptions is the scale used by the figure benchmarks.
+func benchOptions() bench.Options {
+	return bench.Options{
+		Size:           200,
+		Seed:           1,
+		TrainTimesteps: 800,
+		BatchTimesteps: 400,
+		Workers:        2,
+		Binth:          16,
+	}
+}
+
+// benchScenarios covers one classifier per ClassBench category.
+func benchScenarios() []bench.Scenario {
+	return []bench.Scenario{
+		{Family: "acl1", Size: 200, Seed: 1},
+		{Family: "fw1", Size: 200, Seed: 1},
+		{Family: "ipc1", Size: 200, Seed: 1},
+	}
+}
+
+// benchSet generates the classifier used by the micro-benchmarks.
+func benchSet(b *testing.B, family string, size int) *rule.Set {
+	b.Helper()
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return classbench.Generate(fam, size, 1)
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (classification time across
+// classifiers for HiCuts, HyperCuts, EffiCuts, CutSplit and NeuroCuts).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure8(benchScenarios(), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkFigure9 regenerates Figure 9 (memory footprint, bytes per rule).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure9(benchScenarios(), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkFigure10 regenerates Figure 10 (NeuroCuts with the EffiCuts
+// partition vs EffiCuts, sorted improvements).
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure10(benchScenarios(), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkFigure11 regenerates Figure 11 (time-space coefficient sweep).
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure11(benchScenarios()[:1], benchOptions(), []float64{0, 0.5, 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkFigure5 regenerates Figure 5 (tree shape while learning fw5).
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure5(bench.Scenario{Family: "fw5", Size: 200, Seed: 1}, benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6 (tree variations sampled from one
+// stochastic policy on acl4).
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Figure6(bench.Scenario{Family: "acl4", Size: 200, Seed: 1}, benchOptions(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkTable1 renders the hyperparameter table.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bench.Table1(io.Discard)
+	}
+}
+
+// BenchmarkApproachAblation runs the decision-tree vs TSS vs TCAM ablation.
+func BenchmarkApproachAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.ApproachAblation(benchScenarios(), benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// BenchmarkTrafficAblation runs the worst-case vs traffic-aware NeuroCuts
+// objective ablation.
+func BenchmarkTrafficAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.TrafficAblation(benchScenarios()[:1], benchOptions(), 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Write(io.Discard)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: per-algorithm tree construction.
+// ---------------------------------------------------------------------------
+
+func BenchmarkHiCutsBuild(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hicuts.Build(set, hicuts.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHyperCutsBuild(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hypercuts.Build(set, hypercuts.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEffiCutsBuild(b *testing.B) {
+	set := benchSet(b, "fw1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := efficuts.Build(set, efficuts.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCutSplitBuild(b *testing.B) {
+	set := benchSet(b, "fw1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cutsplit.Build(set, cutsplit.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTSSBuild(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tss.Build(set); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCAMBuild(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tcam.Build(set, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupTSS(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	trace := classbench.GenerateTrace(set, 4096, 2)
+	c, err := tss.Build(set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lookupBench(b, c.Classify, trace)
+}
+
+// BenchmarkNeuroCutsTrainingIteration measures one small training run
+// (collection plus PPO update) end to end.
+func BenchmarkNeuroCutsTrainingIteration(b *testing.B) {
+	set := benchSet(b, "acl1", 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := core.Scaled(1000)
+		cfg.MaxTimesteps = 400
+		cfg.BatchTimesteps = 400
+		cfg.MaxIterations = 1
+		cfg.Workers = 2
+		cfg.Seed = int64(i + 1)
+		trainer := core.NewTrainer(set, cfg)
+		if _, err := trainer.Train(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Micro-benchmarks: lookup throughput (packets/op) per algorithm.
+// ---------------------------------------------------------------------------
+
+func lookupBench(b *testing.B, classify func(rule.Packet) (rule.Rule, bool), trace []packet.TraceEntry) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := trace[i%len(trace)]
+		if _, ok := classify(e.Key); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+func BenchmarkLookupLinear(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	trace := classbench.GenerateTrace(set, 4096, 2)
+	lookupBench(b, set.Match, trace)
+}
+
+func BenchmarkLookupHiCuts(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	trace := classbench.GenerateTrace(set, 4096, 2)
+	t, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lookupBench(b, t.Classify, trace)
+}
+
+func BenchmarkLookupEffiCuts(b *testing.B) {
+	set := benchSet(b, "fw1", 1000)
+	trace := classbench.GenerateTrace(set, 4096, 2)
+	c, err := efficuts.Build(set, efficuts.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lookupBench(b, c.Classify, trace)
+}
+
+func BenchmarkLookupCutSplit(b *testing.B) {
+	set := benchSet(b, "fw1", 1000)
+	trace := classbench.GenerateTrace(set, 4096, 2)
+	c, err := cutsplit.Build(set, cutsplit.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	lookupBench(b, c.Classify, trace)
+}
+
+func BenchmarkLookupNeuroCuts(b *testing.B) {
+	set := benchSet(b, "acl1", 500)
+	trace := classbench.GenerateTrace(set, 4096, 2)
+	cfg := core.Scaled(1000)
+	cfg.MaxTimesteps = 1500
+	cfg.BatchTimesteps = 500
+	cfg.Workers = 2
+	trainer := core.NewTrainer(set, cfg)
+	if _, err := trainer.Train(); err != nil {
+		b.Fatal(err)
+	}
+	best, _ := trainer.BestTree()
+	lookupBench(b, best.Classify, trace)
+}
+
+// BenchmarkPolicyInference measures one forward pass of the NeuroCuts policy
+// network at the paper's full 512x512 size.
+func BenchmarkPolicyInference(b *testing.B) {
+	set := benchSet(b, "acl1", 200)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+	trainer := core.NewTrainer(set, cfg)
+	e := env.New(set, env.Config{})
+	obs := e.Observation(e.Current())
+	policy := trainer.Policy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = policy.Forward(obs)
+	}
+}
+
+// BenchmarkWireDecodeAndClassify measures the full datapath: decode a raw
+// IPv4/TCP header and classify the resulting key with a HiCuts tree.
+func BenchmarkWireDecodeAndClassify(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	t, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(set, 1024, 3)
+	wires := make([][]byte, len(trace))
+	for i, e := range trace {
+		key := e.Key
+		if key.Proto != packet.ProtoTCP && key.Proto != packet.ProtoUDP {
+			key.Proto = packet.ProtoTCP
+		}
+		w, err := packet.Serialize(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wires[i] = w
+	}
+	var dec packet.Decoder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key, err := dec.Decode(wires[i%len(wires)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := t.Classify(key); !ok {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+// BenchmarkClassBenchGenerate measures classifier generation at 10k scale.
+func BenchmarkClassBenchGenerate(b *testing.B) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		set := classbench.Generate(fam, 10_000, int64(i))
+		if set.Len() < 5000 {
+			b.Fatal("generation collapsed")
+		}
+	}
+}
+
+// BenchmarkTreeBuilderRandom measures raw tree-engine throughput: random
+// cuts over a 1k classifier until completion.
+func BenchmarkTreeBuilderRandom(b *testing.B) {
+	set := benchSet(b, "ipc1", 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := tree.NewBuilder(set, 16)
+		dims := rule.Dimensions()
+		step := 0
+		for !builder.Done() && step < 5000 {
+			d := dims[step%len(dims)]
+			if err := builder.ApplyCut(d, 8); err != nil {
+				builder.Skip()
+			}
+			step++
+		}
+	}
+}

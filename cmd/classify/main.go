@@ -1,0 +1,206 @@
+// Command classify builds a decision tree (or multi-tree classifier) with a
+// chosen algorithm and classifies a header trace with it, reporting
+// correctness against linear search, lookup throughput, and the tree's
+// classification-time and memory metrics.
+//
+// Example:
+//
+//	genrules -family acl1 -size 1000 -out acl.rules -trace 100000 -traceout acl.trace
+//	classify -rules acl.rules -trace acl.trace -algo hicuts
+//	classify -rules acl.rules -trace acl.trace -algo neurocuts -timesteps 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/core"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/efficuts"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/packet"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+// classifier is the minimal lookup interface every algorithm provides.
+type classifier interface {
+	Classify(p rule.Packet) (rule.Rule, bool)
+}
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "classifier file in ClassBench format (required unless -family given)")
+		family    = flag.String("family", "", "generate this ClassBench family instead of reading -rules")
+		size      = flag.Int("size", 1000, "classifier size when generating")
+		tracePath = flag.String("trace", "", "header trace file (optional; a synthetic trace is generated otherwise)")
+		traceN    = flag.Int("tracen", 100000, "synthetic trace length when -trace is not given")
+		algo      = flag.String("algo", "hicuts", "algorithm: hicuts, hypercuts, efficuts, cutsplit, neurocuts, linear")
+		binth     = flag.Int("binth", 16, "leaf threshold")
+		timesteps = flag.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	set, err := loadClassifier(*rulesPath, *family, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	trace, err := loadTrace(*tracePath, set, *traceN, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	cls, metrics, err := build(strings.ToLower(*algo), set, *binth, *timesteps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	buildTime := time.Since(start)
+	fmt.Printf("built %s over %d rules in %s\n", *algo, set.Len(), buildTime.Round(time.Millisecond))
+	if metrics != nil {
+		fmt.Printf("  classification time (worst-case node visits): %d\n", metrics.ClassificationTime)
+		fmt.Printf("  memory: %d bytes (%.1f bytes/rule), %d nodes, depth %d\n",
+			metrics.MemoryBytes, metrics.BytesPerRule, metrics.Nodes, metrics.MaxDepth)
+	}
+
+	// Classify the trace, checking each result against the ground truth (or
+	// against linear search when the trace has no ground truth).
+	mismatches := 0
+	start = time.Now()
+	for _, e := range trace {
+		got, ok := cls.Classify(e.Key)
+		want := e.MatchRule
+		if want < 0 {
+			want = set.MatchIndex(e.Key)
+		}
+		if (want < 0) != !ok {
+			mismatches++
+			continue
+		}
+		if ok && got.Priority != want {
+			mismatches++
+		}
+	}
+	elapsed := time.Since(start)
+	rate := float64(len(trace)) / elapsed.Seconds()
+	fmt.Printf("classified %d packets in %s (%.0f packets/sec)\n", len(trace), elapsed.Round(time.Millisecond), rate)
+	if mismatches > 0 {
+		fmt.Printf("MISMATCHES: %d packets classified differently from linear search\n", mismatches)
+		os.Exit(1)
+	}
+	fmt.Println("all classifications match linear search")
+}
+
+func loadClassifier(path, family string, size int, seed int64) (*rule.Set, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rule.ParseClassBench(f)
+	}
+	if family == "" {
+		family = "acl1"
+	}
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		return nil, err
+	}
+	return classbench.Generate(fam, size, seed), nil
+}
+
+func loadTrace(path string, set *rule.Set, n int, seed int64) ([]packet.TraceEntry, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return packet.ReadTrace(f)
+	}
+	return classbench.GenerateTrace(set, n, seed+7), nil
+}
+
+// linearClassifier adapts rule.Set to the classifier interface.
+type linearClassifier struct{ set *rule.Set }
+
+func (l linearClassifier) Classify(p rule.Packet) (rule.Rule, bool) { return l.set.Match(p) }
+
+func build(algo string, set *rule.Set, binth, timesteps int, seed int64) (classifier, *tree.Metrics, error) {
+	switch algo {
+	case "linear":
+		return linearClassifier{set}, nil, nil
+	case "hicuts":
+		cfg := hicuts.DefaultConfig()
+		cfg.Binth = binth
+		t, err := hicuts.Build(set, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := t.ComputeMetrics()
+		return t, &m, nil
+	case "hypercuts":
+		cfg := hypercuts.DefaultConfig()
+		cfg.Binth = binth
+		t, err := hypercuts.Build(set, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := t.ComputeMetrics()
+		return t, &m, nil
+	case "efficuts":
+		cfg := efficuts.DefaultConfig()
+		cfg.Binth = binth
+		c, err := efficuts.Build(set, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := c.Metrics()
+		return c, &m, nil
+	case "cutsplit":
+		cfg := cutsplit.DefaultConfig()
+		cfg.Binth = binth
+		c, err := cutsplit.Build(set, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		m := c.Metrics()
+		return c, &m, nil
+	case "neurocuts":
+		cfg := core.Scaled(1000)
+		cfg.Binth = binth
+		cfg.MaxTimesteps = timesteps
+		cfg.BatchTimesteps = max(256, timesteps/10)
+		cfg.Seed = seed
+		cfg.Partition = env.PartitionNone
+		trainer := core.NewTrainer(set, cfg)
+		if _, err := trainer.Train(); err != nil {
+			return nil, nil, err
+		}
+		best, _ := trainer.BestTree()
+		m := best.ComputeMetrics()
+		return best, &m, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classify:", err)
+	os.Exit(1)
+}

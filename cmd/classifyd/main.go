@@ -1,0 +1,160 @@
+// Command classifyd serves a packet classifier over TCP using the line
+// protocol of internal/server, or queries a running server.
+//
+// Serve a HiCuts tree built from a generated firewall classifier:
+//
+//	classifyd -family fw1 -size 1000 -algo hicuts -listen 127.0.0.1:9099
+//
+// Query it (IPs may be dotted quads or decimal):
+//
+//	classifyd -query 127.0.0.1:9099 -packet "10.0.0.1 192.168.1.1 1234 80 6"
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/core"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/efficuts"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/server"
+)
+
+func main() {
+	var (
+		rulesPath = flag.String("rules", "", "classifier file in ClassBench format")
+		family    = flag.String("family", "acl1", "ClassBench family to generate when -rules is not given")
+		size      = flag.Int("size", 1000, "classifier size when generating")
+		seed      = flag.Int64("seed", 1, "random seed")
+		algo      = flag.String("algo", "hicuts", "algorithm: hicuts, hypercuts, efficuts, cutsplit, neurocuts, linear")
+		timesteps = flag.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
+		listen    = flag.String("listen", "127.0.0.1:9099", "address to serve on")
+		query     = flag.String("query", "", "query a running server at this address instead of serving")
+		packetStr = flag.String("packet", "", "packet to query: \"src dst sport dport proto\"")
+	)
+	flag.Parse()
+
+	if *query != "" {
+		if err := runQuery(*query, *packetStr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	set, err := loadClassifier(*rulesPath, *family, *size, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cls, err := buildClassifier(strings.ToLower(*algo), set, *timesteps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := server.New(cls)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("classifyd: serving %s classifier (%d rules, %s) on %s\n", *algo, set.Len(), *family, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("classifyd: shutting down")
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	st := srv.Stats()
+	fmt.Printf("classifyd: served %d requests (%d matches, %d parse failures)\n", st.Requests, st.Matches, st.ParseFails)
+}
+
+func runQuery(addr, packetStr string) error {
+	if packetStr == "" {
+		return fmt.Errorf("-packet is required with -query")
+	}
+	key, err := server.ParseRequest(packetStr)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := server.Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+	id, priority, ok, err := client.Classify(key)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		fmt.Println("no-match")
+		return nil
+	}
+	fmt.Printf("match rule id=%d priority=%d\n", id, priority)
+	return nil
+}
+
+func loadClassifier(path, family string, size int, seed int64) (*rule.Set, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rule.ParseClassBench(f)
+	}
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		return nil, err
+	}
+	return classbench.Generate(fam, size, seed), nil
+}
+
+// linear adapts rule.Set to the server's Classifier interface.
+type linear struct{ set *rule.Set }
+
+func (l linear) Classify(p rule.Packet) (rule.Rule, bool) { return l.set.Match(p) }
+
+func buildClassifier(algo string, set *rule.Set, timesteps int, seed int64) (server.Classifier, error) {
+	switch algo {
+	case "linear":
+		return linear{set}, nil
+	case "hicuts":
+		return hicuts.Build(set, hicuts.DefaultConfig())
+	case "hypercuts":
+		return hypercuts.Build(set, hypercuts.DefaultConfig())
+	case "efficuts":
+		return efficuts.Build(set, efficuts.DefaultConfig())
+	case "cutsplit":
+		return cutsplit.Build(set, cutsplit.DefaultConfig())
+	case "neurocuts":
+		cfg := core.Scaled(1000)
+		cfg.MaxTimesteps = timesteps
+		cfg.BatchTimesteps = timesteps / 10
+		cfg.Seed = seed
+		trainer := core.NewTrainer(set, cfg)
+		if _, err := trainer.Train(); err != nil {
+			return nil, err
+		}
+		best, _ := trainer.BestTree()
+		return best, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "classifyd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command evalbench regenerates the tables and figures of the paper's
+// evaluation section using the algorithms in this repository.
+//
+// Examples:
+//
+//	evalbench -fig 8 -size 1000 -timesteps 50000     # Figure 8 at 1k scale
+//	evalbench -fig all -size 300 -timesteps 2000     # quick pass over everything
+//	evalbench -table 1                               # print the hyperparameter table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"neurocuts/internal/bench"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "", "figure to regenerate: 5, 6, 8, 9, 10, 11, ablation, traffic or all")
+		table     = flag.Int("table", 0, "table to print (1)")
+		size      = flag.Int("size", 300, "rules per classifier")
+		timesteps = flag.Int("timesteps", 2000, "NeuroCuts training budget per classifier")
+		batch     = flag.Int("batch", 0, "PPO batch size (default timesteps/5)")
+		workers   = flag.Int("workers", 4, "parallel rollout workers")
+		seed      = flag.Int64("seed", 1, "random seed")
+		families  = flag.String("families", "", "comma-separated family subset (default: all 12)")
+	)
+	flag.Parse()
+
+	if *table == 1 {
+		bench.Table1(os.Stdout)
+		if *fig == "" {
+			return
+		}
+	}
+	if *fig == "" {
+		fmt.Fprintln(os.Stderr, "evalbench: nothing to do; pass -fig or -table (see -h)")
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Size:           *size,
+		Seed:           *seed,
+		TrainTimesteps: *timesteps,
+		BatchTimesteps: *batch,
+		Workers:        *workers,
+	}
+	if opts.BatchTimesteps == 0 {
+		opts.BatchTimesteps = maxInt(200, *timesteps/5)
+	}
+
+	scenarios := bench.DefaultScenarios(*size)
+	if *families != "" {
+		var filtered []bench.Scenario
+		want := map[string]bool{}
+		for _, f := range strings.Split(*families, ",") {
+			want[strings.TrimSpace(strings.ToLower(f))] = true
+		}
+		for _, sc := range scenarios {
+			if want[sc.Family] {
+				filtered = append(filtered, sc)
+			}
+		}
+		scenarios = filtered
+	}
+	if len(scenarios) == 0 {
+		fmt.Fprintln(os.Stderr, "evalbench: no scenarios selected")
+		os.Exit(2)
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("==== %s (size=%d, budget=%d steps/classifier) ====\n", name, *size, *timesteps)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "evalbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("---- %s done in %s ----\n\n", name, time.Since(start).Round(time.Second))
+	}
+
+	want := strings.ToLower(*fig)
+	all := want == "all"
+	if all || want == "8" {
+		run("Figure 8", func() error {
+			res, err := bench.Figure8(scenarios, opts)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "9" {
+		run("Figure 9", func() error {
+			res, err := bench.Figure9(scenarios, opts)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "10" {
+		run("Figure 10", func() error {
+			res, err := bench.Figure10(scenarios, opts)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "11" {
+		run("Figure 11", func() error {
+			res, err := bench.Figure11(scenarios, opts, nil)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "5" {
+		run("Figure 5", func() error {
+			res, err := bench.Figure5(bench.Scenario{Family: "fw5", Size: *size, Seed: *seed}, opts)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "6" {
+		run("Figure 6", func() error {
+			res, err := bench.Figure6(bench.Scenario{Family: "acl4", Size: *size, Seed: *seed}, opts, 4)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "ablation" {
+		run("Approach ablation (trees vs TSS vs TCAM)", func() error {
+			res, err := bench.ApproachAblation(scenarios, opts)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+	if all || want == "traffic" {
+		run("Traffic-aware objective ablation", func() error {
+			res, err := bench.TrafficAblation(scenarios, opts, 2000)
+			if err != nil {
+				return err
+			}
+			res.Write(os.Stdout)
+			return nil
+		})
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

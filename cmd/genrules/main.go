@@ -1,0 +1,95 @@
+// Command genrules generates ClassBench-style packet classifiers and header
+// traces.
+//
+// Usage:
+//
+//	genrules -family acl1 -size 1000 -out acl1_1k.rules -trace 10000 -traceout acl1_1k.trace
+//
+// The classifier is written in ClassBench filter format and the trace in the
+// ClassBench trace format (one packet per line with the ground-truth
+// matching rule appended).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/packet"
+	"neurocuts/internal/rule"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "acl1", "ClassBench family (acl1..acl5, fw1..fw5, ipc1, ipc2)")
+		size     = flag.Int("size", 1000, "number of rules to generate")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "output file for the classifier (default stdout)")
+		traceN   = flag.Int("trace", 0, "also generate a header trace with this many packets")
+		traceOut = flag.String("traceout", "", "output file for the trace (default stdout after the classifier)")
+		uniform  = flag.Bool("uniform", false, "generate a uniform random trace instead of a rule-biased one")
+		list     = flag.Bool("list", false, "list the available families and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, f := range classbench.Families() {
+			fmt.Printf("%s\t(%s)\n", f.Name, f.Kind)
+		}
+		return
+	}
+
+	fam, err := classbench.FamilyByName(*family)
+	if err != nil {
+		fatal(err)
+	}
+	set := classbench.Generate(fam, *size, *seed)
+
+	if err := writeClassifier(set, *out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "generated %d rules for %s (seed %d)\n", set.Len(), fam.Name, *seed)
+
+	if *traceN > 0 {
+		var entries []packet.TraceEntry
+		if *uniform {
+			entries = classbench.UniformTrace(set, *traceN, *seed+1)
+		} else {
+			entries = classbench.GenerateTrace(set, *traceN, *seed+1)
+		}
+		if err := writeTrace(entries, *traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "generated %d trace packets\n", len(entries))
+	}
+}
+
+func writeClassifier(set *rule.Set, path string) error {
+	if path == "" {
+		return rule.WriteClassBench(os.Stdout, set)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return rule.WriteClassBench(f, set)
+}
+
+func writeTrace(entries []packet.TraceEntry, path string) error {
+	if path == "" {
+		return packet.WriteTrace(os.Stdout, entries)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return packet.WriteTrace(f, entries)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "genrules:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Tradeoff: sweep the time-space coefficient c (Equation 5) and show how
+// NeuroCuts interpolates between time-optimised and space-optimised trees —
+// a miniature version of Figure 11.
+//
+// Run with:
+//
+//	go run ./examples/tradeoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/core"
+	"neurocuts/internal/env"
+)
+
+func main() {
+	family, err := classbench.FamilyByName("ipc1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := classbench.Generate(family, 300, 5)
+	fmt.Printf("classifier: %d rules (%s)\n\n", rules.Len(), family.Name)
+
+	cValues := []float64{0, 0.1, 0.5, 1}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "c\tworst-case lookups\tbytes/rule\ttree nodes")
+
+	for i, c := range cValues {
+		cfg := core.Scaled(1000)
+		cfg.TimeSpaceCoeff = c
+		cfg.Scale = env.ScaleLog // log scaling makes time and space commensurable
+		cfg.Partition = env.PartitionSimple
+		cfg.MaxTimesteps = 4000
+		cfg.BatchTimesteps = 800
+		cfg.Seed = int64(100 + i)
+
+		trainer := core.NewTrainer(rules, cfg)
+		if _, err := trainer.Train(); err != nil {
+			log.Fatal(err)
+		}
+		best, _ := trainer.BestTree()
+		m := best.ComputeMetrics()
+		fmt.Fprintf(tw, "%.1f\t%d\t%.1f\t%d\n", c, m.ClassificationTime, m.BytesPerRule, m.Nodes)
+	}
+	tw.Flush()
+	fmt.Println("\nc -> 1 favours classification time; c -> 0 favours memory footprint (Figure 11).")
+}

@@ -1,0 +1,83 @@
+// Updates: demonstrate how a deployed NeuroCuts tree absorbs classifier
+// updates (Section 4 of the paper): small rule insertions and deletions are
+// applied to the existing tree in place without retraining, and the Updater
+// flags when enough updates have accumulated that retraining is worthwhile.
+//
+// Run with:
+//
+//	go run ./examples/updates
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/core"
+	"neurocuts/internal/rule"
+)
+
+func main() {
+	family, err := classbench.FamilyByName("acl2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rules := classbench.Generate(family, 300, 9)
+	fmt.Printf("initial classifier: %d rules\n", rules.Len())
+
+	// Train once.
+	cfg := core.Scaled(1000)
+	cfg.MaxTimesteps = 3000
+	cfg.BatchTimesteps = 600
+	cfg.Seed = 21
+	trainer := core.NewTrainer(rules, cfg)
+	if _, err := trainer.Train(); err != nil {
+		log.Fatal(err)
+	}
+	best, _ := trainer.BestTree()
+	m := best.ComputeMetrics()
+	fmt.Printf("trained tree: %d worst-case lookups, %.1f bytes/rule\n\n", m.ClassificationTime, m.BytesPerRule)
+
+	// Operate the tree and apply incremental updates.
+	updater := core.NewUpdater(best, 20)
+
+	// A new access-control rule for a device that just joined the network:
+	// block TCP/22 to a specific host, with priority above everything else.
+	newRule := rule.NewWildcardRule(-1)
+	newRule.Ranges[rule.DimDstIP] = rule.PrefixRange(0x0A00002A, 32, 32) // 10.0.0.42
+	newRule.Ranges[rule.DimDstPort] = rule.Range{Lo: 22, Hi: 22}
+	newRule.Ranges[rule.DimProto] = rule.Range{Lo: 6, Hi: 6}
+	newRule.ID = 4242
+	if err := updater.InsertRule(newRule); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("inserted a new highest-priority rule (block TCP/22 to 10.0.0.42) without retraining")
+
+	// The new rule is live immediately.
+	pkt := rule.Packet{SrcIP: 0xC0A80105, DstIP: 0x0A00002A, SrcPort: 50000, DstPort: 22, Proto: 6}
+	matched, ok := best.Classify(pkt)
+	fmt.Printf("  lookup %v -> rule ID %d (ok=%v)\n", pkt, matched.ID, ok)
+	if !ok || matched.ID != 4242 {
+		log.Fatal("the inserted rule should win this lookup")
+	}
+
+	// Retire an old rule.
+	victim := rules.Len() / 3
+	removed := updater.RemoveByPriority(victim)
+	fmt.Printf("removed rule #%d from the tree (%d copies cleaned from leaves counted as %d rule)\n",
+		victim, removed, removed)
+
+	// Apply a burst of further updates and watch the retrain signal.
+	for i := 0; i < 25 && !updater.NeedsRetrain(); i++ {
+		r := rule.NewWildcardRule(-(i + 2))
+		r.Ranges[rule.DimSrcPort] = rule.Range{Lo: uint64(30000 + i), Hi: uint64(30000 + i)}
+		r.ID = 5000 + i
+		if err := updater.InsertRule(r); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\napplied %d total updates; retraining recommended: %v\n", updater.Updates(), updater.NeedsRetrain())
+	if updater.NeedsRetrain() {
+		fmt.Println("=> at this point a deployment would re-run the trainer on the updated rule set")
+	}
+}

@@ -1,0 +1,163 @@
+// Package analysis provides the small statistical toolkit used by the
+// evaluation harness: medians, means, percentiles, and the relative
+// improvement summaries the paper reports (e.g. "18% median improvement over
+// the best baseline").
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Median returns the median of xs (the mean of the two middle elements for
+// even lengths). It returns NaN for an empty slice.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns NaN for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Min and Max return the extrema of xs, or NaN for empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest element of xs, or NaN for empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Improvement returns the paper's improvement metric 1 - a/b: how much
+// better (smaller) a is than the reference b. Positive values mean a wins.
+// It returns 0 when b is zero.
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 1 - a/b
+}
+
+// ImprovementSummary aggregates per-classifier improvements of one algorithm
+// over a reference (both metrics are "lower is better").
+type ImprovementSummary struct {
+	// Median, Mean, Best and Worst of the per-classifier improvements
+	// (1 - ours/reference).
+	Median float64
+	Mean   float64
+	Best   float64
+	Worst  float64
+	// WinFraction is the fraction of classifiers where ours strictly beats
+	// the reference.
+	WinFraction float64
+	// Count is the number of classifier pairs summarised.
+	Count int
+}
+
+// Summarize computes an ImprovementSummary from paired metric slices: ours[i]
+// and reference[i] are the metric values on classifier i. Pairs where the
+// reference is zero are skipped.
+func Summarize(ours, reference []float64) (ImprovementSummary, error) {
+	if len(ours) != len(reference) {
+		return ImprovementSummary{}, fmt.Errorf("analysis: mismatched lengths %d vs %d", len(ours), len(reference))
+	}
+	var improvements []float64
+	wins := 0
+	for i := range ours {
+		if reference[i] == 0 {
+			continue
+		}
+		imp := Improvement(ours[i], reference[i])
+		improvements = append(improvements, imp)
+		if ours[i] < reference[i] {
+			wins++
+		}
+	}
+	if len(improvements) == 0 {
+		return ImprovementSummary{}, fmt.Errorf("analysis: no comparable pairs")
+	}
+	return ImprovementSummary{
+		Median:      Median(improvements),
+		Mean:        Mean(improvements),
+		Best:        Max(improvements),
+		Worst:       Min(improvements),
+		WinFraction: float64(wins) / float64(len(improvements)),
+		Count:       len(improvements),
+	}, nil
+}
+
+// String renders the summary in the style the paper uses in Section 6.
+func (s ImprovementSummary) String() string {
+	return fmt.Sprintf("median %.0f%%, mean %.0f%%, best %.0f%%, worst %.0f%%, wins %.0f%% of %d",
+		s.Median*100, s.Mean*100, s.Best*100, s.Worst*100, s.WinFraction*100, s.Count)
+}
+
+// SortedImprovements returns the per-pair improvements (1 - ours/ref) sorted
+// ascending — the series plotted in Figure 10.
+func SortedImprovements(ours, reference []float64) []float64 {
+	n := len(ours)
+	if len(reference) < n {
+		n = len(reference)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		if reference[i] == 0 {
+			continue
+		}
+		out = append(out, Improvement(ours[i], reference[i]))
+	}
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestMedian(t *testing.T) {
+	if !almostEqual(Median([]float64{3, 1, 2}), 2) {
+		t.Error("odd median")
+	}
+	if !almostEqual(Median([]float64{4, 1, 3, 2}), 2.5) {
+		t.Error("even median")
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("empty median should be NaN")
+	}
+	if !almostEqual(Median([]float64{7}), 7) {
+		t.Error("single-element median")
+	}
+}
+
+func TestMeanMinMax(t *testing.T) {
+	xs := []float64{2, 4, 6}
+	if !almostEqual(Mean(xs), 4) || !almostEqual(Min(xs), 2) || !almostEqual(Max(xs), 6) {
+		t.Error("mean/min/max wrong")
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Error("empty aggregates should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if !almostEqual(Percentile(xs, 0), 10) || !almostEqual(Percentile(xs, 100), 50) {
+		t.Error("extremes wrong")
+	}
+	if !almostEqual(Percentile(xs, 50), 30) {
+		t.Error("median percentile wrong")
+	}
+	if !almostEqual(Percentile(xs, 25), 20) {
+		t.Error("p25 wrong")
+	}
+	if !almostEqual(Percentile(xs, 90), 46) {
+		t.Errorf("p90 = %v", Percentile(xs, 90))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty percentile should be NaN")
+	}
+	if !almostEqual(Percentile(xs, -5), 10) || !almostEqual(Percentile(xs, 150), 50) {
+		t.Error("out-of-range percentiles should clamp")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if !almostEqual(Improvement(50, 100), 0.5) {
+		t.Error("halving is a 50% improvement")
+	}
+	if !almostEqual(Improvement(100, 100), 0) {
+		t.Error("equal is 0%")
+	}
+	if Improvement(150, 100) >= 0 {
+		t.Error("regression should be negative")
+	}
+	if Improvement(1, 0) != 0 {
+		t.Error("zero reference yields 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ours := []float64{10, 20, 40, 5}
+	ref := []float64{20, 20, 30, 10}
+	s, err := Summarize(ours, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 4 {
+		t.Errorf("count = %d", s.Count)
+	}
+	if !almostEqual(s.Best, 0.5) {
+		t.Errorf("best = %v", s.Best)
+	}
+	if !almostEqual(s.Worst, 1-40.0/30.0) {
+		t.Errorf("worst = %v", s.Worst)
+	}
+	if !almostEqual(s.WinFraction, 0.5) {
+		t.Errorf("wins = %v", s.WinFraction)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	if _, err := Summarize([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Summarize([]float64{1}, []float64{0}); err == nil {
+		t.Error("all-zero reference should error")
+	}
+	// Zero-reference entries are skipped, not fatal, when others exist.
+	s2, err := Summarize([]float64{1, 5}, []float64{0, 10})
+	if err != nil || s2.Count != 1 {
+		t.Errorf("skip-zero summarize = %+v, %v", s2, err)
+	}
+}
+
+func TestSortedImprovements(t *testing.T) {
+	got := SortedImprovements([]float64{10, 30, 5}, []float64{20, 20, 20})
+	if len(got) != 3 || !sort.Float64sAreSorted(got) {
+		t.Fatalf("got %v", got)
+	}
+	if !almostEqual(got[0], -0.5) || !almostEqual(got[2], 0.75) {
+		t.Errorf("got %v", got)
+	}
+	// Mismatched lengths use the shorter, zero refs skipped.
+	got = SortedImprovements([]float64{10, 30}, []float64{0, 20, 40})
+	if len(got) != 1 {
+		t.Errorf("got %v", got)
+	}
+}
+
+// Property: the median lies between min and max, and percentiles are
+// monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		med := Median(xs)
+		if med < Min(xs)-1e-9 || med > Max(xs)+1e-9 {
+			return false
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

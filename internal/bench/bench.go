@@ -1,0 +1,334 @@
+// Package bench is the evaluation harness: it rebuilds, for every table and
+// figure in the paper's evaluation section, the data series the paper plots,
+// using the algorithms implemented in this repository. Absolute numbers
+// differ from the paper (different rule generators, training budgets and
+// cost constants), but the harness reports the same rows/series so the
+// qualitative comparison — who wins, by roughly what factor — can be checked
+// directly.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"neurocuts/internal/analysis"
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/core"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/efficuts"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/packet"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+// Scenario identifies one classifier of the evaluation: a ClassBench family
+// at a given size.
+type Scenario struct {
+	// Family is the seed family name (acl1..acl5, fw1..fw5, ipc1, ipc2).
+	Family string
+	// Size is the number of rules.
+	Size int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Name returns the paper-style scenario name, e.g. "acl1_1k".
+func (s Scenario) Name() string {
+	switch {
+	case s.Size >= 1000 && s.Size%1000 == 0:
+		return fmt.Sprintf("%s_%dk", s.Family, s.Size/1000)
+	default:
+		return fmt.Sprintf("%s_%d", s.Family, s.Size)
+	}
+}
+
+// Generate builds the scenario's classifier.
+func (s Scenario) Generate() (*rule.Set, error) {
+	fam, err := classbench.FamilyByName(s.Family)
+	if err != nil {
+		return nil, err
+	}
+	return classbench.Generate(fam, s.Size, s.Seed), nil
+}
+
+// DefaultScenarios returns one scenario per ClassBench family at the given
+// size (the paper uses 1k, 10k and 100k; the harness default keeps the full
+// 12-family sweep at whatever size the caller affords).
+func DefaultScenarios(size int) []Scenario {
+	var out []Scenario
+	for _, f := range classbench.Families() {
+		out = append(out, Scenario{Family: f.Name, Size: size, Seed: 1})
+	}
+	return out
+}
+
+// Options tunes how much work the harness does, so the same code can drive
+// quick regression runs and full-scale reproductions.
+type Options struct {
+	// Size is the classifier size per scenario.
+	Size int
+	// Seed seeds classifier generation and training.
+	Seed int64
+	// TrainTimesteps is the NeuroCuts training budget per classifier; the
+	// paper uses up to 10M, the quick defaults a few thousand.
+	TrainTimesteps int
+	// BatchTimesteps is the PPO batch size.
+	BatchTimesteps int
+	// Workers is the number of parallel rollout workers per trainer.
+	Workers int
+	// Binth is the leaf threshold shared by all algorithms.
+	Binth int
+}
+
+// QuickOptions returns a configuration that finishes in seconds per
+// classifier (for tests and smoke benchmarks).
+func QuickOptions() Options {
+	return Options{
+		Size:           300,
+		Seed:           1,
+		TrainTimesteps: 1500,
+		BatchTimesteps: 500,
+		Workers:        2,
+		Binth:          tree.DefaultBinth,
+	}
+}
+
+// PaperOptions returns a configuration at the paper's 1k scale with a
+// meaningful (but still laptop-sized) training budget.
+func PaperOptions() Options {
+	return Options{
+		Size:           1000,
+		Seed:           1,
+		TrainTimesteps: 50_000,
+		BatchTimesteps: 5_000,
+		Workers:        4,
+		Binth:          tree.DefaultBinth,
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size <= 0 {
+		o.Size = 300
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.TrainTimesteps <= 0 {
+		o.TrainTimesteps = 1500
+	}
+	if o.BatchTimesteps <= 0 {
+		o.BatchTimesteps = 500
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Binth <= 0 {
+		o.Binth = tree.DefaultBinth
+	}
+	return o
+}
+
+// AlgorithmResult is one algorithm's outcome on one classifier.
+type AlgorithmResult struct {
+	// Algorithm is the display name.
+	Algorithm string
+	// Time is the worst-case classification time (node visits).
+	Time int
+	// BytesPerRule is the memory footprint divided by the rule count.
+	BytesPerRule float64
+	// MemoryBytes is the total memory footprint.
+	MemoryBytes int
+}
+
+// Row is the full comparison on one classifier.
+type Row struct {
+	Scenario Scenario
+	Results  []AlgorithmResult
+}
+
+// Get returns the named algorithm's result in the row.
+func (r Row) Get(name string) (AlgorithmResult, bool) {
+	for _, a := range r.Results {
+		if a.Algorithm == name {
+			return a, true
+		}
+	}
+	return AlgorithmResult{}, false
+}
+
+// Algorithm display names used across the harness.
+const (
+	NameHiCuts         = "HiCuts"
+	NameHyperCuts      = "HyperCuts"
+	NameEffiCuts       = "EffiCuts"
+	NameCutSplit       = "CutSplit"
+	NameNeuroCuts      = "NeuroCuts"
+	NameNeuroCutsTime  = "NeuroCuts(time)"
+	NameNeuroCutsSpace = "NeuroCuts(space)"
+	NameNeuroCutsEffi  = "NeuroCuts(EffiCuts)"
+)
+
+// runBaselines executes the four hand-tuned algorithms on the classifier.
+func runBaselines(set *rule.Set, binth int) ([]AlgorithmResult, error) {
+	var out []AlgorithmResult
+
+	hcfg := hicuts.DefaultConfig()
+	hcfg.Binth = binth
+	hi, err := hicuts.Build(set, hcfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: HiCuts: %w", err)
+	}
+	m := hi.ComputeMetrics()
+	out = append(out, AlgorithmResult{NameHiCuts, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
+
+	ycfg := hypercuts.DefaultConfig()
+	ycfg.Binth = binth
+	hy, err := hypercuts.Build(set, ycfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: HyperCuts: %w", err)
+	}
+	m = hy.ComputeMetrics()
+	out = append(out, AlgorithmResult{NameHyperCuts, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
+
+	ecfg := efficuts.DefaultConfig()
+	ecfg.Binth = binth
+	ef, err := efficuts.Build(set, ecfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: EffiCuts: %w", err)
+	}
+	m = ef.Metrics()
+	out = append(out, AlgorithmResult{NameEffiCuts, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
+
+	ccfg := cutsplit.DefaultConfig()
+	ccfg.Binth = binth
+	cs, err := cutsplit.Build(set, ccfg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: CutSplit: %w", err)
+	}
+	m = cs.Metrics()
+	out = append(out, AlgorithmResult{NameCutSplit, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
+	return out, nil
+}
+
+// neuroCutsConfig builds a trainer configuration for the harness.
+func neuroCutsConfig(o Options, c float64, scale env.RewardScale, part env.PartitionMode, seed int64) core.Config {
+	cfg := core.Scaled(1000)
+	cfg.TimeSpaceCoeff = c
+	cfg.Scale = scale
+	cfg.Partition = part
+	cfg.Binth = o.Binth
+	cfg.MaxTimesteps = o.TrainTimesteps
+	cfg.BatchTimesteps = o.BatchTimesteps
+	// Rollout truncation follows Section 5.1: it must scale with the
+	// classifier ("large enough to enable solving the problem, but not so
+	// large that it slows down the initial phase of training"). Untruncated
+	// rollouts from the random initial policy would otherwise swallow the
+	// whole batch budget.
+	cfg.MaxTimestepsPerRollout = clampInt(2*o.Size, 500, 15000)
+	cfg.Workers = o.Workers
+	cfg.Seed = seed
+	return cfg
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// trainNeuroCuts trains NeuroCuts with the given objective and returns the
+// best tree's metrics.
+func trainNeuroCuts(set *rule.Set, cfg core.Config, name string) (AlgorithmResult, *core.Trainer, error) {
+	trainer := core.NewTrainer(set, cfg)
+	if _, err := trainer.Train(); err != nil {
+		return AlgorithmResult{}, nil, fmt.Errorf("bench: training %s: %w", name, err)
+	}
+	best, _ := trainer.BestTree()
+	m := best.ComputeMetrics()
+	return AlgorithmResult{name, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes}, trainer, nil
+}
+
+// writeTable renders rows of (scenario, per-algorithm metric) as a text
+// table to w; metric selects Time (true) or BytesPerRule (false).
+func writeTable(w io.Writer, title string, rows []Row, timeMetric bool) {
+	fmt.Fprintln(w, title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(rows) == 0 {
+		tw.Flush()
+		return
+	}
+	header := "classifier"
+	for _, a := range rows[0].Results {
+		header += "\t" + a.Algorithm
+	}
+	fmt.Fprintln(tw, header)
+	for _, r := range rows {
+		line := r.Scenario.Name()
+		for _, a := range r.Results {
+			if timeMetric {
+				line += fmt.Sprintf("\t%d", a.Time)
+			} else {
+				line += fmt.Sprintf("\t%.1f", a.BytesPerRule)
+			}
+		}
+		fmt.Fprintln(tw, line)
+	}
+	tw.Flush()
+}
+
+// summarizeAgainstBestBaseline computes the Section 6.1-style improvement
+// summary of the NeuroCuts column against the minimum of the four baselines,
+// per classifier.
+func summarizeAgainstBestBaseline(rows []Row, neuroName string, timeMetric bool) (analysis.ImprovementSummary, error) {
+	var ours, best []float64
+	for _, r := range rows {
+		nc, ok := r.Get(neuroName)
+		if !ok {
+			continue
+		}
+		bestBaseline := -1.0
+		for _, a := range r.Results {
+			if a.Algorithm == neuroName || a.Algorithm == NameNeuroCutsTime ||
+				a.Algorithm == NameNeuroCutsSpace || a.Algorithm == NameNeuroCutsEffi {
+				continue
+			}
+			v := float64(a.Time)
+			if !timeMetric {
+				v = a.BytesPerRule
+			}
+			if bestBaseline < 0 || v < bestBaseline {
+				bestBaseline = v
+			}
+		}
+		if bestBaseline <= 0 {
+			continue
+		}
+		v := float64(nc.Time)
+		if !timeMetric {
+			v = nc.BytesPerRule
+		}
+		ours = append(ours, v)
+		best = append(best, bestBaseline)
+	}
+	return analysis.Summarize(ours, best)
+}
+
+// sortRowsByName keeps the paper's classifier ordering (acl*, fw*, ipc*).
+func sortRowsByName(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Scenario.Name() < rows[j].Scenario.Name() })
+}
+
+// generateTrace builds a rule-biased header trace for a classifier (thin
+// wrapper so other files in this package do not import classbench twice).
+func generateTrace(set *rule.Set, n int, seed int64) []packet.TraceEntry {
+	return classbench.GenerateTrace(set, n, seed)
+}

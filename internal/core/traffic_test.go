@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+// TestTrainerWithTrafficTrace trains NeuroCuts under the traffic-aware
+// objective (average classification time over a trace) and verifies that the
+// best tree is still an exact classifier and that its average lookup time
+// over the trace is no worse than its worst-case time.
+func TestTrainerWithTrafficTrace(t *testing.T) {
+	set := testSet(t, "acl2", 120, 5)
+	traceEntries := classbench.GenerateTrace(set, 400, 6)
+	packets := make([]rule.Packet, len(traceEntries))
+	for i, e := range traceEntries {
+		packets[i] = e.Key
+	}
+
+	cfg := tinyConfig()
+	cfg.TrafficTrace = packets
+	tr := NewTrainer(set, cfg)
+	if _, err := tr.Train(); err != nil {
+		t.Fatal(err)
+	}
+	best, objective := tr.BestTree()
+	if best == nil {
+		t.Fatal("no best tree")
+	}
+	avg := best.AverageLookupTime(packets)
+	worst := float64(best.ComputeMetrics().ClassificationTime)
+	if avg <= 0 || avg > worst {
+		t.Errorf("average %v out of range (worst %v)", avg, worst)
+	}
+	// The tracked objective is the average lookup time of the best tree.
+	if objective <= 0 || objective > worst {
+		t.Errorf("objective %v out of range", objective)
+	}
+	// Correctness still holds.
+	for _, e := range traceEntries {
+		got, ok := best.Classify(e.Key)
+		if !ok || got.Priority != e.MatchRule {
+			t.Fatalf("traffic-trained tree misclassified %v", e.Key)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+)
+
+// tinyConfig returns a training configuration small enough for unit tests
+// (a few hundred environment steps) while exercising the full pipeline.
+func tinyConfig() Config {
+	cfg := Scaled(1000)
+	cfg.MaxTimesteps = 600
+	cfg.BatchTimesteps = 200
+	cfg.MaxTimestepsPerRollout = 400
+	cfg.HiddenLayers = []int{32}
+	cfg.Workers = 2
+	cfg.PPO.Epochs = 2
+	cfg.PPO.MinibatchSize = 64
+	cfg.Seed = 3
+	return cfg
+}
+
+func testSet(t *testing.T, fam string, size int, seed int64) *rule.Set {
+	t.Helper()
+	f, err := classbench.FamilyByName(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classbench.Generate(f, size, seed)
+}
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MaxTimesteps != 10_000_000 || cfg.BatchTimesteps != 60_000 {
+		t.Errorf("timestep budgets %d/%d", cfg.MaxTimesteps, cfg.BatchTimesteps)
+	}
+	if len(cfg.HiddenLayers) != 2 || cfg.HiddenLayers[0] != 512 {
+		t.Errorf("hidden layers %v", cfg.HiddenLayers)
+	}
+	if cfg.PPO.LearningRate != 5e-5 || cfg.PPO.ClipParam != 0.3 {
+		t.Errorf("PPO params %+v", cfg.PPO)
+	}
+	if cfg.MaxTimestepsPerRollout != 15000 {
+		t.Errorf("rollout truncation %d", cfg.MaxTimestepsPerRollout)
+	}
+	// Scaled keeps the algorithm but shrinks budgets.
+	s := Scaled(100)
+	if s.MaxTimesteps >= cfg.MaxTimesteps || s.BatchTimesteps >= cfg.BatchTimesteps {
+		t.Error("Scaled did not shrink budgets")
+	}
+	if got := Scaled(0); got.MaxTimesteps != cfg.MaxTimesteps {
+		t.Error("Scaled(0) should return the full config")
+	}
+}
+
+func TestTrainerProducesCorrectTree(t *testing.T) {
+	set := testSet(t, "acl1", 120, 1)
+	tr := NewTrainer(set, tinyConfig())
+	history, err := tr.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) == 0 {
+		t.Fatal("no training iterations ran")
+	}
+	best, objective := tr.BestTree()
+	if best == nil {
+		t.Fatal("no best tree")
+	}
+	if objective <= 0 {
+		t.Errorf("objective %v should be positive (classification time)", objective)
+	}
+	if tr.TreesBuilt() == 0 || tr.TotalSteps() == 0 {
+		t.Error("counters not updated")
+	}
+	// The learned tree must classify identically to linear search.
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1500; i++ {
+		p := rule.Packet{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+		want, okW := set.Match(p)
+		got, okG := best.Classify(p)
+		if okW != okG || (okW && got.Priority != want.Priority) {
+			t.Fatalf("mismatch on %v", p)
+		}
+	}
+	// History invariants: timesteps increase, best objective never worsens.
+	for i := 1; i < len(history); i++ {
+		if history[i].Timesteps < history[i-1].Timesteps {
+			t.Error("timesteps decreased")
+		}
+		if history[i].BestObjective > history[i-1].BestObjective {
+			t.Error("best objective worsened")
+		}
+	}
+}
+
+func TestTrainerImprovesOverRandomPolicy(t *testing.T) {
+	// With a modest budget, the best tree found by training should be no
+	// worse than the first tree a random (untrained) policy produces.
+	set := testSet(t, "fw5", 150, 2)
+	cfg := tinyConfig()
+	cfg.MaxTimesteps = 1500
+	cfg.BatchTimesteps = 400
+	cfg.TimeSpaceCoeff = 1
+	tr := NewTrainer(set, cfg)
+	firstTree, firstMetrics := tr.SampleTree(1, false)
+	if firstTree == nil {
+		t.Fatal("sample tree failed")
+	}
+	if _, err := tr.Train(); err != nil {
+		t.Fatal(err)
+	}
+	_, bestObjective := tr.BestTree()
+	if bestObjective > float64(firstMetrics.ClassificationTime) {
+		t.Errorf("best objective %v worse than a random tree's %d", bestObjective, firstMetrics.ClassificationTime)
+	}
+}
+
+func TestSampleTreeGreedyIsDeterministic(t *testing.T) {
+	set := testSet(t, "acl4", 100, 3)
+	tr := NewTrainer(set, tinyConfig())
+	a, am := tr.SampleTree(7, true)
+	b, bm := tr.SampleTree(8, true)
+	if a == nil || b == nil {
+		t.Fatal("sampling failed")
+	}
+	if am.ClassificationTime != bm.ClassificationTime || am.MemoryBytes != bm.MemoryBytes {
+		t.Error("greedy trees should be identical regardless of seed")
+	}
+	// Stochastic sampling with different seeds typically differs (Figure 6);
+	// at minimum it must produce valid trees.
+	c, _ := tr.SampleTree(7, false)
+	d, _ := tr.SampleTree(8, false)
+	if c == nil || d == nil {
+		t.Fatal("stochastic sampling failed")
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	set := testSet(t, "acl1", 80, 4)
+	cfg := tinyConfig()
+	tr := NewTrainer(set, cfg)
+	path := filepath.Join(t.TempDir(), "policy.ckpt")
+	if err := tr.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh trainer with different seed loads the checkpoint and produces
+	// the same greedy tree.
+	beforeTree, beforeMetrics := tr.SampleTree(1, true)
+	_ = beforeTree
+	cfg2 := cfg
+	cfg2.Seed = 99
+	tr2 := NewTrainer(set, cfg2)
+	if err := tr2.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	_, afterMetrics := tr2.SampleTree(1, true)
+	if beforeMetrics.ClassificationTime != afterMetrics.ClassificationTime ||
+		beforeMetrics.MemoryBytes != afterMetrics.MemoryBytes {
+		t.Error("checkpointed policy behaves differently")
+	}
+	if err := tr2.LoadCheckpoint(filepath.Join(t.TempDir(), "missing.ckpt")); err == nil {
+		t.Error("missing checkpoint should fail")
+	}
+}
+
+func TestSpaceOptimizedConfigUsesLogScale(t *testing.T) {
+	set := testSet(t, "fw1", 120, 5)
+	cfg := tinyConfig()
+	cfg.TimeSpaceCoeff = 0
+	cfg.Scale = env.ScaleLog
+	cfg.Partition = env.PartitionEffiCuts
+	cfg.MaxTimesteps = 500
+	cfg.BatchTimesteps = 250
+	tr := NewTrainer(set, cfg)
+	if _, err := tr.Train(); err != nil {
+		t.Fatal(err)
+	}
+	best, obj := tr.BestTree()
+	if best == nil {
+		t.Fatal("no best tree")
+	}
+	// Objective is log(bytes), so it should be a smallish positive number.
+	if obj <= 0 || obj > 30 {
+		t.Errorf("log-space objective %v out of range", obj)
+	}
+}
+
+func TestTrainerRespectsIterationCap(t *testing.T) {
+	set := testSet(t, "ipc1", 100, 6)
+	cfg := tinyConfig()
+	cfg.MaxIterations = 1
+	cfg.MaxTimesteps = 1 << 30
+	tr := NewTrainer(set, cfg)
+	history, err := tr.Train()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 1 {
+		t.Errorf("ran %d iterations, want 1", len(history))
+	}
+}
+
+func TestConfigWithDefaults(t *testing.T) {
+	cfg := Config{TimeSpaceCoeff: 5}.withDefaults()
+	if cfg.TimeSpaceCoeff != 1 {
+		t.Error("coefficient should clamp")
+	}
+	cfg = Config{TimeSpaceCoeff: -1}.withDefaults()
+	if cfg.TimeSpaceCoeff != 0 {
+		t.Error("coefficient should clamp to zero")
+	}
+	if cfg.Binth <= 0 || cfg.Workers <= 0 || cfg.MaxTimesteps <= 0 || len(cfg.HiddenLayers) == 0 {
+		t.Error("defaults missing")
+	}
+	if cfg.PPO.LearningRate <= 0 {
+		t.Error("PPO defaults missing")
+	}
+}
+
+func TestTrainedNeuroCutsCompetitiveWithHiCutsOnTinyProblem(t *testing.T) {
+	// End-to-end sanity on a small classifier: with a modest budget the best
+	// NeuroCuts tree should be within 2x of HiCuts on classification time
+	// (the paper's claim is that with a full budget it beats HiCuts; here we
+	// only verify the learning signal points the right way).
+	set := testSet(t, "acl5", 150, 7)
+	cfg := tinyConfig()
+	cfg.MaxTimesteps = 2500
+	cfg.BatchTimesteps = 500
+	tr := NewTrainer(set, cfg)
+	if _, err := tr.Train(); err != nil {
+		t.Fatal(err)
+	}
+	best, _ := tr.BestTree()
+	hi, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := best.ComputeMetrics().ClassificationTime
+	hc := hi.ComputeMetrics().ClassificationTime
+	// A few thousand steps is a sliver of the paper's 10M budget and HiCuts
+	// may use 64-way cuts while the NeuroCuts action space tops out at 32,
+	// so only require the learned tree to be in the same ballpark here; the
+	// benchmark harness measures the trained comparison properly.
+	if nc > hc*3+2 {
+		t.Errorf("NeuroCuts time %d is far worse than HiCuts %d on a small problem", nc, hc)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+// buildTestTree constructs a tree (with HiCuts, for speed) over a generated
+// classifier, returning both.
+func buildTestTree(t *testing.T, fam string, size int, seed int64) (*tree.Tree, *rule.Set) {
+	t.Helper()
+	f, _ := classbench.FamilyByName(fam)
+	set := classbench.Generate(f, size, seed)
+	tr, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, set
+}
+
+func checkAgainst(t *testing.T, tr *tree.Tree, set *rule.Set, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 1500; i++ {
+		p := rule.Packet{
+			SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+			Proto: uint8(rng.Intn(256)),
+		}
+		want, okW := set.Match(p)
+		got, okG := tr.Classify(p)
+		if okW != okG || (okW && got.Priority != want.Priority) {
+			t.Fatalf("mismatch on %v: tree %v/%v linear %v/%v", p, got.Priority, okG, want.Priority, okW)
+		}
+	}
+}
+
+func TestInsertRulePreservesCorrectness(t *testing.T) {
+	tr, set := buildTestTree(t, "acl1", 200, 1)
+	u := NewUpdater(tr, 0)
+
+	// Insert a new highest-specificity rule "in front of" the classifier by
+	// giving it a priority below every existing rule (the linear-search
+	// reference gets the same rule at the same position).
+	newRule := rule.NewWildcardRule(-1)
+	newRule.Ranges[rule.DimSrcIP] = rule.PrefixRange(0x0A0A0A00, 24, 32)
+	newRule.Ranges[rule.DimProto] = rule.Range{Lo: 6, Hi: 6}
+	newRule.ID = 9999
+
+	if err := u.InsertRule(newRule); err != nil {
+		t.Fatal(err)
+	}
+	refRules := append([]rule.Rule{newRule}, set.Rules()...)
+	ref := rule.NewSetKeepPriorities(refRules)
+
+	if u.Updates() != 1 {
+		t.Errorf("updates = %d", u.Updates())
+	}
+	if tr.RuleCount != set.Len()+1 {
+		t.Errorf("rule count %d, want %d", tr.RuleCount, set.Len()+1)
+	}
+	checkAgainst(t, tr, ref, 11)
+
+	// A packet inside the new rule must now hit it.
+	p := rule.Packet{SrcIP: 0x0A0A0A05, DstIP: 1, SrcPort: 80, DstPort: 80, Proto: 6}
+	got, ok := tr.Classify(p)
+	if !ok || got.ID != 9999 {
+		t.Errorf("new rule not matched: %v %v", got, ok)
+	}
+}
+
+func TestInsertRuleIntoPartitionedTree(t *testing.T) {
+	f, _ := classbench.FamilyByName("fw1")
+	set := classbench.Generate(f, 150, 2)
+	// Build a tree whose root is a partition node.
+	tr := tree.New(set, 16)
+	b := tree.NewBuilderFromTree(tr)
+	if err := b.ApplyPartitionByCoverage(rule.DimSrcIP, 0.5); err != nil {
+		t.Skipf("partition not applicable to this classifier: %v", err)
+	}
+	for !b.Done() {
+		if err := b.ApplyCut(rule.DimDstIP, 8); err != nil {
+			b.Skip()
+		}
+	}
+	u := NewUpdater(tr, 0)
+	newRule := rule.NewWildcardRule(-1)
+	newRule.Ranges[rule.DimDstPort] = rule.Range{Lo: 4443, Hi: 4443}
+	newRule.ID = 7777
+	if err := u.InsertRule(newRule); err != nil {
+		t.Fatal(err)
+	}
+	ref := rule.NewSetKeepPriorities(append([]rule.Rule{newRule}, set.Rules()...))
+	checkAgainst(t, tr, ref, 13)
+}
+
+func TestRemoveRule(t *testing.T) {
+	tr, set := buildTestTree(t, "acl2", 200, 3)
+	u := NewUpdater(tr, 0)
+
+	// Remove a middle-priority rule from the tree and from the reference.
+	victim := set.Len() / 2
+	removed := u.RemoveByPriority(victim)
+	if removed != 1 {
+		t.Fatalf("removed %d rules, want 1", removed)
+	}
+	if tr.RuleCount != set.Len()-1 {
+		t.Errorf("rule count %d", tr.RuleCount)
+	}
+	refRules := make([]rule.Rule, 0, set.Len()-1)
+	for i, r := range set.Rules() {
+		if i == victim {
+			continue
+		}
+		refRules = append(refRules, r)
+	}
+	ref := rule.NewSetKeepPriorities(refRules)
+	checkAgainst(t, tr, ref, 17)
+
+	// Removing a non-existent priority is a no-op.
+	if got := u.RemoveByPriority(10_000); got != 0 {
+		t.Errorf("removed %d, want 0", got)
+	}
+}
+
+func TestUpdaterRetrainThreshold(t *testing.T) {
+	tr, _ := buildTestTree(t, "ipc1", 100, 4)
+	u := NewUpdater(tr, 3)
+	if u.NeedsRetrain() {
+		t.Error("fresh updater should not need retraining")
+	}
+	for i := 0; i < 3; i++ {
+		r := rule.NewWildcardRule(-(i + 1))
+		r.Ranges[rule.DimSrcPort] = rule.Range{Lo: uint64(40000 + i), Hi: uint64(40000 + i)}
+		if err := u.InsertRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !u.NeedsRetrain() {
+		t.Error("threshold reached, retraining should be flagged")
+	}
+	// Default threshold is 10% of the rule count.
+	u2 := NewUpdater(tr, 0)
+	if u2.RetrainThreshold < 1 {
+		t.Error("default threshold missing")
+	}
+}
+
+func TestUpdaterErrors(t *testing.T) {
+	u := &Updater{}
+	if err := u.InsertRule(rule.NewWildcardRule(0)); err == nil {
+		t.Error("nil tree insert should fail")
+	}
+	if got := u.RemoveByPriority(0); got != 0 {
+		t.Error("nil tree remove should be a no-op")
+	}
+}

@@ -1,0 +1,181 @@
+// Package hicuts implements HiCuts (Hierarchical Intelligent Cuttings,
+// Gupta & McKeown, Hot Interconnects 1999), the pioneering decision-tree
+// packet classification algorithm and the first baseline in the paper's
+// evaluation.
+//
+// At every node HiCuts picks one dimension and cuts the node's region into
+// equal-sized pieces along it. Two hand-tuned heuristics drive the choice:
+//
+//  1. The cut dimension is the one whose rules project onto the largest
+//     number of distinct ranges (maximising the chance that rules separate).
+//  2. The number of cuts is grown geometrically from an initial guess until
+//     a space-measure budget is exceeded: sm(v) = Σ_children rules(child) +
+//     number of children must stay below spfac · rules(v).
+//
+// Nodes with at most binth rules become leaves.
+package hicuts
+
+import (
+	"fmt"
+
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+// Config holds the HiCuts tuning knobs.
+type Config struct {
+	// Binth is the leaf threshold (maximum rules per leaf).
+	Binth int
+	// SpFac is the space-measure factor controlling how aggressively a node
+	// may be cut. The original paper uses values between 1 and 8; 2 is the
+	// common default.
+	SpFac float64
+	// MaxCuts caps the fan-out of a single node.
+	MaxCuts int
+	// MaxDepth aborts pathological constructions; 0 means no limit.
+	MaxDepth int
+}
+
+// DefaultConfig returns the configuration used in the paper's evaluation
+// setting.
+func DefaultConfig() Config {
+	return Config{Binth: tree.DefaultBinth, SpFac: 2.0, MaxCuts: 64, MaxDepth: 256}
+}
+
+// Build constructs a HiCuts decision tree for the classifier.
+func Build(s *rule.Set, cfg Config) (*tree.Tree, error) {
+	if cfg.Binth <= 0 {
+		cfg.Binth = tree.DefaultBinth
+	}
+	if cfg.SpFac <= 0 {
+		cfg.SpFac = 2.0
+	}
+	if cfg.MaxCuts < 2 {
+		cfg.MaxCuts = 64
+	}
+	t := tree.New(s, cfg.Binth)
+	if err := buildNode(t, t.Root, cfg); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func buildNode(t *tree.Tree, n *tree.Node, cfg Config) error {
+	if t.IsTerminal(n) {
+		return nil
+	}
+	if cfg.MaxDepth > 0 && n.Depth >= cfg.MaxDepth {
+		// Accept an oversized leaf rather than recursing forever on a node
+		// whose rules cannot be separated (e.g. identical boxes).
+		return nil
+	}
+	dim, ok := chooseDimension(n)
+	if !ok {
+		return nil
+	}
+	k := chooseCutCount(n, dim, cfg)
+	if k < 2 {
+		return nil
+	}
+	children, err := t.Cut(n, dim, k)
+	if err != nil {
+		return fmt.Errorf("hicuts: cutting node at depth %d: %w", n.Depth, err)
+	}
+	progress := false
+	for _, c := range children {
+		if c.NumRules() < n.NumRules() {
+			progress = true
+			break
+		}
+	}
+	for _, c := range children {
+		if !progress && c.NumRules() == n.NumRules() {
+			// No child got smaller: further cuts in this subtree cannot make
+			// progress either, so accept the oversized leaves.
+			continue
+		}
+		if err := buildNode(t, c, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chooseDimension returns the dimension with the most distinct rule ranges
+// among those where the node's box can actually be subdivided. The boolean
+// is false when no dimension can be cut.
+func chooseDimension(n *tree.Node) (rule.Dimension, bool) {
+	best := rule.DimSrcIP
+	bestCount := -1
+	found := false
+	for _, d := range rule.Dimensions() {
+		if n.Box[d].Size() < 2 {
+			continue
+		}
+		count := rule.DistinctRangeCount(n.Rules, d)
+		if count > bestCount {
+			best, bestCount, found = d, count, true
+		}
+	}
+	return best, found
+}
+
+// chooseCutCount grows the fan-out geometrically from 4 (or the square root
+// of the rule count, whichever is larger) while the space measure stays
+// within the spfac budget.
+func chooseCutCount(n *tree.Node, dim rule.Dimension, cfg Config) int {
+	budget := cfg.SpFac * float64(n.NumRules())
+	// Initial guess from the original paper: max(4, sqrt(#rules)).
+	k := 4
+	for k*k < n.NumRules() {
+		k *= 2
+	}
+	if k < 4 {
+		k = 4
+	}
+	if k > cfg.MaxCuts {
+		k = cfg.MaxCuts
+	}
+	// Shrink if even the initial guess blows the budget, then try doubling.
+	for k >= 2 && spaceMeasure(n, dim, k) > budget {
+		k /= 2
+	}
+	if k < 2 {
+		return 2
+	}
+	for k*2 <= cfg.MaxCuts && spaceMeasure(n, dim, k*2) <= budget {
+		k *= 2
+	}
+	return k
+}
+
+// spaceMeasure computes sm(v) for cutting node n along dim into k pieces:
+// the total number of rule replicas across the children plus the number of
+// children. It evaluates the cut without materialising child nodes.
+func spaceMeasure(n *tree.Node, dim rule.Dimension, k int) float64 {
+	box := n.Box[dim]
+	size := box.Size()
+	if uint64(k) > size {
+		k = int(size)
+	}
+	if k < 2 {
+		return float64(n.NumRules() + 1)
+	}
+	step := size / uint64(k)
+	total := k
+	lo := box.Lo
+	for i := 0; i < k; i++ {
+		hi := lo + step - 1
+		if i == k-1 {
+			hi = box.Hi
+		}
+		piece := rule.Range{Lo: lo, Hi: hi}
+		for _, r := range n.Rules {
+			if r.Ranges[dim].Overlaps(piece) {
+				total++
+			}
+		}
+		lo = hi + 1
+	}
+	return float64(total)
+}

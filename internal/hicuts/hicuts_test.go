@@ -1,0 +1,149 @@
+package hicuts
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+func checkTreeEquivalence(t *testing.T, tr *tree.Tree, set *rule.Set, n int, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		p := rule.Packet{
+			SrcIP:   rng.Uint32(),
+			DstIP:   rng.Uint32(),
+			SrcPort: uint16(rng.Intn(65536)),
+			DstPort: uint16(rng.Intn(65536)),
+			Proto:   uint8(rng.Intn(256)),
+		}
+		want, okWant := set.Match(p)
+		got, okGot := tr.Classify(p)
+		if okWant != okGot || (okWant && want.Priority != got.Priority) {
+			t.Fatalf("packet %v: tree (%v,%v) vs linear (%v,%v)", p, got.Priority, okGot, want.Priority, okWant)
+		}
+	}
+	for _, e := range classbench.GenerateTrace(set, n/2, seed+1) {
+		got, ok := tr.Classify(e.Key)
+		if !ok || got.Priority != e.MatchRule {
+			t.Fatalf("trace packet %v: tree %v/%v want %d", e.Key, got.Priority, ok, e.MatchRule)
+		}
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Binth != tree.DefaultBinth || cfg.SpFac != 2.0 || cfg.MaxCuts < 2 {
+		t.Errorf("unexpected default config %+v", cfg)
+	}
+}
+
+func TestBuildSmallClassifiers(t *testing.T) {
+	for _, fam := range []string{"acl1", "fw1", "ipc1"} {
+		f, _ := classbench.FamilyByName(fam)
+		set := classbench.Generate(f, 300, 1)
+		tr, err := Build(set, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		m := tr.ComputeMetrics()
+		if m.Nodes < 2 {
+			t.Errorf("%s: tree did not grow (%d nodes)", fam, m.Nodes)
+		}
+		if m.ClassificationTime < 2 {
+			t.Errorf("%s: implausible classification time %d", fam, m.ClassificationTime)
+		}
+		if m.MaxDepth > DefaultConfig().MaxDepth {
+			t.Errorf("%s: depth %d exceeds limit", fam, m.MaxDepth)
+		}
+		// Every HiCuts internal node cuts exactly one dimension.
+		tr.Walk(func(n *tree.Node) bool {
+			if n.Kind == tree.KindCut && len(n.CutDims) != 1 {
+				t.Errorf("%s: HiCuts node cuts %d dimensions", fam, len(n.CutDims))
+				return false
+			}
+			if n.Kind == tree.KindPartition {
+				t.Errorf("%s: HiCuts must not partition", fam)
+				return false
+			}
+			return true
+		})
+		checkTreeEquivalence(t, tr, set, 1500, 7)
+	}
+}
+
+func TestBuildZeroConfigDefaults(t *testing.T) {
+	f, _ := classbench.FamilyByName("acl2")
+	set := classbench.Generate(f, 100, 2)
+	tr, err := Build(set, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Binth != tree.DefaultBinth {
+		t.Errorf("binth = %d", tr.Binth)
+	}
+	checkTreeEquivalence(t, tr, set, 500, 3)
+}
+
+func TestBuildTinyClassifierIsLeafOnly(t *testing.T) {
+	set := rule.NewSet([]rule.Rule{rule.NewWildcardRule(0)})
+	tr, err := Build(set, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NodeCount() != 1 {
+		t.Errorf("tiny classifier should stay a single leaf, got %d nodes", tr.NodeCount())
+	}
+}
+
+func TestBuildAllWildcardRulesTerminates(t *testing.T) {
+	// Identical unseparable rules: HiCuts must not loop forever; it accepts
+	// an oversized leaf.
+	rules := make([]rule.Rule, 40)
+	for i := range rules {
+		rules[i] = rule.NewWildcardRule(i)
+	}
+	set := rule.NewSet(rules)
+	tr, err := Build(set, Config{Binth: 8, SpFac: 2, MaxCuts: 16, MaxDepth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTreeEquivalence(t, tr, set, 200, 5)
+}
+
+func TestSpFacControlsTreeSize(t *testing.T) {
+	f, _ := classbench.FamilyByName("acl3")
+	set := classbench.Generate(f, 400, 4)
+	small, err := Build(set, Config{Binth: 16, SpFac: 1.2, MaxCuts: 64, MaxDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(set, Config{Binth: 16, SpFac: 8, MaxCuts: 64, MaxDepth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, mb := small.ComputeMetrics(), big.ComputeMetrics()
+	// A larger space budget buys fan-out, which should not make the tree
+	// deeper; usually it is shallower (that is the whole point of spfac).
+	if mb.ClassificationTime > ms.ClassificationTime {
+		t.Errorf("spfac=8 time %d worse than spfac=1.2 time %d", mb.ClassificationTime, ms.ClassificationTime)
+	}
+	checkTreeEquivalence(t, small, set, 500, 11)
+	checkTreeEquivalence(t, big, set, 500, 12)
+}
+
+func TestDepthLimitRespected(t *testing.T) {
+	f, _ := classbench.FamilyByName("fw5")
+	set := classbench.Generate(f, 500, 9)
+	tr, err := Build(set, Config{Binth: 2, SpFac: 1.5, MaxCuts: 4, MaxDepth: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.MaxDepth(); got > 6 {
+		t.Errorf("depth %d exceeds MaxDepth 6", got)
+	}
+	checkTreeEquivalence(t, tr, set, 800, 21)
+}

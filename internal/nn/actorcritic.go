@@ -1,0 +1,191 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+)
+
+// ActorCritic is the NeuroCuts policy/value network: a shared tanh MLP trunk
+// (weight sharing between the actor and the critic, as in Table 1 of the
+// paper) feeding three heads — a categorical distribution over cut/partition
+// dimensions, a categorical distribution over the per-dimension actions, and
+// a scalar state-value estimate.
+type ActorCritic struct {
+	// ObsSize is the observation width; NumDims and NumActs are the sizes of
+	// the two categorical heads; Hidden lists the trunk's hidden layer
+	// widths.
+	ObsSize int
+	NumDims int
+	NumActs int
+	Hidden  []int
+
+	trunk     []*Linear
+	dimHead   *Linear
+	actHead   *Linear
+	valueHead *Linear
+}
+
+// NewActorCritic builds a network with the given layout. hidden must contain
+// at least one layer width.
+func NewActorCritic(obsSize, numDims, numActs int, hidden []int, rng *rand.Rand) *ActorCritic {
+	if len(hidden) == 0 {
+		hidden = []int{128, 128}
+	}
+	ac := &ActorCritic{
+		ObsSize: obsSize,
+		NumDims: numDims,
+		NumActs: numActs,
+		Hidden:  append([]int(nil), hidden...),
+	}
+	in := obsSize
+	for _, h := range hidden {
+		ac.trunk = append(ac.trunk, NewLinear(in, h, rng))
+		in = h
+	}
+	ac.dimHead = NewLinear(in, numDims, rng)
+	ac.actHead = NewLinear(in, numActs, rng)
+	ac.valueHead = NewLinear(in, 1, rng)
+	return ac
+}
+
+// ForwardCache stores the intermediate activations of one forward pass so
+// that Backward can compute exact gradients for that sample.
+type ForwardCache struct {
+	// Obs is the input observation.
+	Obs []float64
+	// PreAct and PostAct hold, per trunk layer, the linear output and its
+	// tanh activation.
+	PostAct [][]float64
+	// DimLogits, ActLogits and Value are the head outputs.
+	DimLogits []float64
+	ActLogits []float64
+	Value     float64
+}
+
+// Forward runs the network on one observation and returns the cache holding
+// logits, value and the activations needed for Backward.
+func (ac *ActorCritic) Forward(obs []float64) *ForwardCache {
+	if len(obs) != ac.ObsSize {
+		panic(fmt.Sprintf("nn: observation size %d, want %d", len(obs), ac.ObsSize))
+	}
+	cache := &ForwardCache{Obs: obs}
+	x := obs
+	for _, l := range ac.trunk {
+		x = Tanh(l.Forward(x))
+		cache.PostAct = append(cache.PostAct, x)
+	}
+	cache.DimLogits = ac.dimHead.Forward(x)
+	cache.ActLogits = ac.actHead.Forward(x)
+	cache.Value = ac.valueHead.Forward(x)[0]
+	return cache
+}
+
+// Backward accumulates parameter gradients for one sample, given the forward
+// cache and the gradients of the loss with respect to the dimension logits,
+// action logits and value output.
+func (ac *ActorCritic) Backward(cache *ForwardCache, dDimLogits, dActLogits []float64, dValue float64) {
+	last := cache.PostAct[len(cache.PostAct)-1]
+	dTrunk := make([]float64, len(last))
+	add := func(dst, src []float64) {
+		for i := range src {
+			dst[i] += src[i]
+		}
+	}
+	add(dTrunk, ac.dimHead.Backward(last, dDimLogits))
+	add(dTrunk, ac.actHead.Backward(last, dActLogits))
+	add(dTrunk, ac.valueHead.Backward(last, []float64{dValue}))
+
+	// Backprop through the trunk in reverse.
+	for i := len(ac.trunk) - 1; i >= 0; i-- {
+		dPre := TanhBackward(cache.PostAct[i], dTrunk)
+		var input []float64
+		if i == 0 {
+			input = cache.Obs
+		} else {
+			input = cache.PostAct[i-1]
+		}
+		dTrunk = ac.trunk[i].Backward(input, dPre)
+	}
+}
+
+// Layers returns every layer of the network, trunk first.
+func (ac *ActorCritic) Layers() []*Linear {
+	out := append([]*Linear(nil), ac.trunk...)
+	return append(out, ac.dimHead, ac.actHead, ac.valueHead)
+}
+
+// ZeroGrad clears the accumulated gradients of every layer.
+func (ac *ActorCritic) ZeroGrad() {
+	for _, l := range ac.Layers() {
+		l.ZeroGrad()
+	}
+}
+
+// NumParams returns the total number of trainable parameters.
+func (ac *ActorCritic) NumParams() int {
+	n := 0
+	for _, l := range ac.Layers() {
+		n += len(l.W) + len(l.B)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the network (weights only; gradients start at
+// zero).
+func (ac *ActorCritic) Clone() *ActorCritic {
+	data, err := ac.MarshalBinary()
+	if err != nil {
+		panic(fmt.Sprintf("nn: cloning network: %v", err))
+	}
+	out := &ActorCritic{}
+	if err := out.UnmarshalBinary(data); err != nil {
+		panic(fmt.Sprintf("nn: cloning network: %v", err))
+	}
+	return out
+}
+
+// snapshot is the gob wire format for checkpoints.
+type snapshot struct {
+	ObsSize, NumDims, NumActs int
+	Hidden                    []int
+	Weights                   [][]float64
+	Biases                    [][]float64
+}
+
+// MarshalBinary serialises the network weights with encoding/gob.
+func (ac *ActorCritic) MarshalBinary() ([]byte, error) {
+	s := snapshot{ObsSize: ac.ObsSize, NumDims: ac.NumDims, NumActs: ac.NumActs, Hidden: ac.Hidden}
+	for _, l := range ac.Layers() {
+		s.Weights = append(s.Weights, append([]float64(nil), l.W...))
+		s.Biases = append(s.Biases, append([]float64(nil), l.B...))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(s); err != nil {
+		return nil, fmt.Errorf("nn: encoding network: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a network serialised by MarshalBinary.
+func (ac *ActorCritic) UnmarshalBinary(data []byte) error {
+	var s snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s); err != nil {
+		return fmt.Errorf("nn: decoding network: %w", err)
+	}
+	fresh := NewActorCritic(s.ObsSize, s.NumDims, s.NumActs, s.Hidden, rand.New(rand.NewSource(0)))
+	layers := fresh.Layers()
+	if len(layers) != len(s.Weights) {
+		return fmt.Errorf("nn: checkpoint has %d layers, network has %d", len(s.Weights), len(layers))
+	}
+	for i, l := range layers {
+		if len(l.W) != len(s.Weights[i]) || len(l.B) != len(s.Biases[i]) {
+			return fmt.Errorf("nn: checkpoint layer %d shape mismatch", i)
+		}
+		copy(l.W, s.Weights[i])
+		copy(l.B, s.Biases[i])
+	}
+	*ac = *fresh
+	return nil
+}

@@ -1,0 +1,87 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) over the parameters
+// of a set of layers.
+type Adam struct {
+	// LR is the learning rate; Beta1/Beta2 are the moment decay rates and
+	// Eps the denominator fuzz.
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	// MaxGradNorm, when positive, rescales the global gradient so its L2
+	// norm does not exceed this bound before the update (gradient clipping).
+	MaxGradNorm float64
+
+	layers []*Linear
+	m      [][]float64
+	v      [][]float64
+	t      int
+}
+
+// NewAdam creates an optimizer over the given layers with standard defaults
+// (beta1 0.9, beta2 0.999, eps 1e-8).
+func NewAdam(layers []*Linear, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, layers: layers}
+	for _, l := range layers {
+		for _, p := range l.Params() {
+			a.m = append(a.m, make([]float64, len(p)))
+			a.v = append(a.v, make([]float64, len(p)))
+		}
+	}
+	return a
+}
+
+// GradNorm returns the global L2 norm of all accumulated gradients.
+func (a *Adam) GradNorm() float64 {
+	sum := 0.0
+	for _, l := range a.layers {
+		for _, g := range l.Grads() {
+			for _, x := range g {
+				sum += x * x
+			}
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+// Step applies one Adam update using the gradients accumulated in the layers
+// and then leaves the gradients untouched (callers typically ZeroGrad after).
+// scale divides the gradients first, which is how callers average gradients
+// accumulated over a minibatch.
+func (a *Adam) Step(scale float64) {
+	if scale == 0 {
+		scale = 1
+	}
+	clip := 1.0
+	if a.MaxGradNorm > 0 {
+		norm := a.GradNorm() / scale
+		if norm > a.MaxGradNorm {
+			clip = a.MaxGradNorm / norm
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	idx := 0
+	for _, l := range a.layers {
+		params := l.Params()
+		grads := l.Grads()
+		for pi, p := range params {
+			g := grads[pi]
+			m := a.m[idx]
+			v := a.v[idx]
+			for i := range p {
+				gi := g[i] / scale * clip
+				m[i] = a.Beta1*m[i] + (1-a.Beta1)*gi
+				v[i] = a.Beta2*v[i] + (1-a.Beta2)*gi*gi
+				mHat := m[i] / bc1
+				vHat := v[i] / bc2
+				p[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			}
+			idx++
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Softmax returns the softmax of the logits, numerically stabilised by
+// subtracting the maximum.
+func Softmax(logits []float64) []float64 {
+	return MaskedSoftmax(logits, nil)
+}
+
+// MaskedSoftmax returns softmax over the logits with masked-out entries
+// (mask[i] == false) receiving probability zero. A nil mask keeps every
+// entry. If every entry is masked the result is the uniform distribution
+// (callers should avoid fully-masked logits; this keeps the math finite).
+func MaskedSoftmax(logits []float64, mask []bool) []float64 {
+	out := make([]float64, len(logits))
+	maxLogit := math.Inf(-1)
+	anyAllowed := false
+	for i, l := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		anyAllowed = true
+		if l > maxLogit {
+			maxLogit = l
+		}
+	}
+	if !anyAllowed {
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	sum := 0.0
+	for i, l := range logits {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		out[i] = math.Exp(l - maxLogit)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the probability vector.
+func SampleCategorical(probs []float64, rng *rand.Rand) int {
+	x := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last non-zero entry.
+	for i := len(probs) - 1; i >= 0; i-- {
+		if probs[i] > 0 {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Argmax returns the index of the largest probability (greedy action).
+func Argmax(probs []float64) int {
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// LogProb returns log(probs[idx]) with a floor to keep it finite.
+func LogProb(probs []float64, idx int) float64 {
+	p := probs[idx]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return math.Log(p)
+}
+
+// Entropy returns the Shannon entropy of the distribution in nats.
+func Entropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// LogProbGrad returns d(log probs[idx])/d(logits) for a (masked) softmax
+// distribution: one_hot(idx) - probs, with masked entries receiving zero
+// gradient.
+func LogProbGrad(probs []float64, idx int, mask []bool) []float64 {
+	g := make([]float64, len(probs))
+	for i, p := range probs {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		g[i] = -p
+	}
+	if mask == nil || mask[idx] {
+		g[idx] += 1
+	}
+	return g
+}
+
+// EntropyGrad returns d(entropy)/d(logits) for a (masked) softmax
+// distribution: -p_i * (log p_i + H), with masked entries receiving zero.
+func EntropyGrad(probs []float64, mask []bool) []float64 {
+	h := Entropy(probs)
+	g := make([]float64, len(probs))
+	for i, p := range probs {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		if p > 1e-12 {
+			g[i] = -p * (math.Log(p) + h)
+		}
+	}
+	return g
+}

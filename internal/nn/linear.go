@@ -1,0 +1,118 @@
+// Package nn is a minimal neural-network library written from scratch on the
+// standard library, sufficient to implement the NeuroCuts policy: dense
+// layers with tanh activations, masked categorical distributions, an
+// actor-critic network with a shared trunk, manual backpropagation, and the
+// Adam optimizer. No autograd framework exists for Go, so gradients are
+// derived and implemented by hand and verified against numerical
+// differentiation in the package tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully-connected layer computing y = W·x + b.
+type Linear struct {
+	// In and Out are the input and output widths.
+	In, Out int
+	// W is the weight matrix in row-major order: W[o*In+i] connects input i
+	// to output o. B is the bias vector.
+	W, B []float64
+	// GradW and GradB accumulate parameter gradients across Backward calls
+	// until ZeroGrad is called.
+	GradW, GradB []float64
+}
+
+// NewLinear creates a layer with Xavier/Glorot-uniform initialised weights
+// and zero biases, drawing from rng for reproducibility.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		W: make([]float64, in*out), B: make([]float64, out),
+		GradW: make([]float64, in*out), GradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range l.W {
+		l.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return l
+}
+
+// Forward computes the layer output for a single input vector.
+func (l *Linear) Forward(x []float64) []float64 {
+	if len(x) != l.In {
+		panic(fmt.Sprintf("nn: Linear.Forward input size %d, want %d", len(x), l.In))
+	}
+	y := make([]float64, l.Out)
+	for o := 0; o < l.Out; o++ {
+		sum := l.B[o]
+		row := l.W[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			sum += row[i] * xi
+		}
+		y[o] = sum
+	}
+	return y
+}
+
+// Backward accumulates parameter gradients for one sample given the input x
+// that produced the forward pass and the gradient dy of the loss with
+// respect to the layer output. It returns the gradient with respect to x.
+func (l *Linear) Backward(x, dy []float64) []float64 {
+	if len(x) != l.In || len(dy) != l.Out {
+		panic(fmt.Sprintf("nn: Linear.Backward sizes %d/%d, want %d/%d", len(x), len(dy), l.In, l.Out))
+	}
+	dx := make([]float64, l.In)
+	for o := 0; o < l.Out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		l.GradB[o] += g
+		row := l.W[o*l.In : (o+1)*l.In]
+		gradRow := l.GradW[o*l.In : (o+1)*l.In]
+		for i, xi := range x {
+			gradRow[i] += g * xi
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// ZeroGrad clears the accumulated gradients.
+func (l *Linear) ZeroGrad() {
+	for i := range l.GradW {
+		l.GradW[i] = 0
+	}
+	for i := range l.GradB {
+		l.GradB[i] = 0
+	}
+}
+
+// Params returns the layer's parameter slices (weights then biases), used by
+// optimizers and checkpointing.
+func (l *Linear) Params() [][]float64 { return [][]float64{l.W, l.B} }
+
+// Grads returns the gradient slices aligned with Params.
+func (l *Linear) Grads() [][]float64 { return [][]float64{l.GradW, l.GradB} }
+
+// Tanh applies the hyperbolic tangent elementwise and returns the result.
+func Tanh(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = math.Tanh(v)
+	}
+	return y
+}
+
+// TanhBackward returns the gradient with respect to the tanh input given the
+// tanh output y and the upstream gradient dy.
+func TanhBackward(y, dy []float64) []float64 {
+	dx := make([]float64, len(y))
+	for i := range y {
+		dx[i] = dy[i] * (1 - y[i]*y[i])
+	}
+	return dx
+}

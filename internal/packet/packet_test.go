@@ -1,0 +1,289 @@
+package packet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neurocuts/internal/rule"
+)
+
+func TestIPv4HeaderRoundTrip(t *testing.T) {
+	h := IPv4Header{
+		Version: 4, IHL: 5, TOS: 0x10, Length: 40, ID: 0x1234,
+		Flags: 2, FragOff: 0, TTL: 64, Protocol: ProtoTCP,
+		SrcIP: 0x0A000001, DstIP: 0xC0A80101,
+	}
+	buf := make([]byte, 20)
+	n, err := h.SerializeTo(buf)
+	if err != nil || n != 20 {
+		t.Fatalf("SerializeTo = %d, %v", n, err)
+	}
+	var got IPv4Header
+	if err := got.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcIP != h.SrcIP || got.DstIP != h.DstIP || got.Protocol != h.Protocol ||
+		got.TTL != h.TTL || got.ID != h.ID || got.Length != h.Length || got.Flags != h.Flags {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	// The serialized header must checksum to zero when re-summed with its
+	// checksum field included (standard IP checksum property).
+	if Checksum(buf) != 0 {
+		t.Errorf("header checksum verification failed: %#x", Checksum(buf))
+	}
+}
+
+func TestIPv4DecodeErrors(t *testing.T) {
+	var h IPv4Header
+	if err := h.DecodeFromBytes(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("short buffer: %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 6 << 4 // IPv6 version nibble
+	if err := h.DecodeFromBytes(bad); err != ErrNotIPv4 {
+		t.Errorf("non-IPv4: %v", err)
+	}
+	bad[0] = 4<<4 | 3 // IHL too small
+	if err := h.DecodeFromBytes(bad); err != ErrBadIHL {
+		t.Errorf("bad IHL: %v", err)
+	}
+	bad[0] = 4<<4 | 15 // IHL says 60 bytes but buffer is 20
+	if err := h.DecodeFromBytes(bad); err != ErrBadIHL {
+		t.Errorf("IHL beyond buffer: %v", err)
+	}
+	if _, err := h.SerializeTo(make([]byte, 3)); err != ErrTruncated {
+		t.Errorf("serialize into short buffer: %v", err)
+	}
+}
+
+func TestTCPHeaderRoundTrip(t *testing.T) {
+	h := TCPHeader{SrcPort: 443, DstPort: 51000, Seq: 1, Ack: 2, DataOffset: 5, Flags: 0x18, Window: 1024}
+	buf := make([]byte, 20)
+	if _, err := h.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	var got TCPHeader
+	if err := got.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	if err := got.DecodeFromBytes(buf[:10]); err != ErrTruncated {
+		t.Errorf("short TCP: %v", err)
+	}
+	if _, err := h.SerializeTo(buf[:10]); err != ErrTruncated {
+		t.Errorf("short TCP serialize: %v", err)
+	}
+}
+
+func TestUDPHeaderRoundTrip(t *testing.T) {
+	h := UDPHeader{SrcPort: 53, DstPort: 33000, Length: 8, Checksum: 0xBEEF}
+	buf := make([]byte, 8)
+	if _, err := h.SerializeTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	var got UDPHeader
+	if err := got.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, h)
+	}
+	if err := got.DecodeFromBytes(buf[:4]); err != ErrTruncated {
+		t.Errorf("short UDP: %v", err)
+	}
+	if _, err := h.SerializeTo(buf[:4]); err != ErrTruncated {
+		t.Errorf("short UDP serialize: %v", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Example from RFC 1071 discussions: checksum of this 8-byte sequence.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	want := ^uint16(0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 - 0x20000 + 2) // fold twice
+	got := Checksum(data)
+	// Compute independently by the straightforward method.
+	var sum uint32
+	for i := 0; i < len(data); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i:]))
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	if got != ^uint16(sum) {
+		t.Errorf("Checksum = %#x, want %#x (sanity %#x)", got, ^uint16(sum), want)
+	}
+	// Odd-length input exercises the trailing-byte path.
+	_ = Checksum([]byte{0xAB})
+}
+
+func TestDecodeSerializeRoundTrip(t *testing.T) {
+	keys := []rule.Packet{
+		{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 1234, DstPort: 80, Proto: ProtoTCP},
+		{SrcIP: 0xC0A80101, DstIP: 0x08080808, SrcPort: 53124, DstPort: 53, Proto: ProtoUDP},
+		{SrcIP: 0x7F000001, DstIP: 0x7F000001, SrcPort: 0, DstPort: 0, Proto: ProtoICMP},
+	}
+	for _, k := range keys {
+		wire, err := Serialize(k)
+		if err != nil {
+			t.Fatalf("Serialize(%v): %v", k, err)
+		}
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", k, err)
+		}
+		if got != k {
+			t.Errorf("round trip mismatch: %v vs %v", got, k)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated IP should fail")
+	}
+	// Valid IP header claiming TCP but with no transport bytes.
+	k := rule.Packet{Proto: ProtoTCP, SrcPort: 1, DstPort: 2}
+	wire, _ := Serialize(k)
+	if _, err := Decode(wire[:20]); err == nil {
+		t.Error("truncated TCP should fail")
+	}
+	k.Proto = ProtoUDP
+	wire, _ = Serialize(k)
+	if _, err := Decode(wire[:20]); err == nil {
+		t.Error("truncated UDP should fail")
+	}
+}
+
+func TestDecoderReuse(t *testing.T) {
+	var d Decoder
+	for i := 0; i < 100; i++ {
+		k := rule.Packet{SrcIP: uint32(i), DstIP: uint32(i * 7), SrcPort: uint16(i), DstPort: uint16(i + 1), Proto: ProtoTCP}
+		wire, err := Serialize(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Decode(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("iteration %d mismatch: %v vs %v", i, got, k)
+		}
+	}
+}
+
+func TestPropertySerializeDecode(t *testing.T) {
+	protos := []uint8{ProtoTCP, ProtoUDP, ProtoICMP}
+	f := func(src, dst uint32, sp, dp uint16, protoIdx uint8) bool {
+		proto := protos[int(protoIdx)%len(protos)]
+		k := rule.Packet{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: proto}
+		if proto == ProtoICMP {
+			k.SrcPort, k.DstPort = 0, 0
+		}
+		wire, err := Serialize(k)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(wire)
+		return err == nil && got == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTextTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	entries := make([]TraceEntry, 50)
+	for i := range entries {
+		entries[i] = TraceEntry{
+			Key: rule.Packet{
+				SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				Proto: uint8(rng.Intn(256)),
+			},
+			MatchRule: rng.Intn(100),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("length %d != %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestReadTraceFiveFieldAndErrors(t *testing.T) {
+	got, err := ReadTrace(bytes.NewBufferString("# comment\n167772161 167772162 80 443 6\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].MatchRule != -1 || got[0].Key.SrcPort != 80 {
+		t.Fatalf("unexpected entries %+v", got)
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("1 2 3\n")); err == nil {
+		t.Error("short line should fail")
+	}
+	if _, err := ReadTrace(bytes.NewBufferString("a b c d e\n")); err == nil {
+		t.Error("non-numeric line should fail")
+	}
+}
+
+func TestWireTraceRoundTrip(t *testing.T) {
+	entries := []TraceEntry{
+		{Key: rule.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: ProtoTCP}},
+		{Key: rule.Packet{SrcIP: 5, DstIP: 6, SrcPort: 7, DstPort: 8, Proto: ProtoUDP}},
+		{Key: rule.Packet{SrcIP: 9, DstIP: 10, Proto: ProtoICMP}},
+	}
+	var buf bytes.Buffer
+	if err := WriteWireTrace(&buf, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWireTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("length %d != %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i].Key != entries[i].Key {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i].Key, entries[i].Key)
+		}
+	}
+	// Truncated stream errors out.
+	var again bytes.Buffer
+	if err := WriteWireTrace(&again, entries); err != nil {
+		t.Fatal(err)
+	}
+	trunc := again.Bytes()[:again.Len()/2]
+	if _, err := ReadWireTrace(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated wire trace should fail")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	wire, _ := Serialize(rule.Packet{SrcIP: 0x0A000001, DstIP: 0x0A000002, SrcPort: 1234, DstPort: 80, Proto: ProtoTCP})
+	var d Decoder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Decode(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package packet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"neurocuts/internal/rule"
+)
+
+// This file implements reading and writing header traces in the ClassBench
+// trace_generator text format: one packet per line, five whitespace-separated
+// decimal fields (src IP, dst IP, src port, dst port, protocol), optionally
+// followed by the index of the rule the trace generator intended the packet
+// to match (which we preserve when present so tests can check classification
+// results against ground truth).
+
+// TraceEntry is one packet of a header trace plus its optional ground-truth
+// matching rule (or -1 when unknown).
+type TraceEntry struct {
+	Key       rule.Packet
+	MatchRule int
+}
+
+// WriteTrace writes entries to w in ClassBench trace format.
+func WriteTrace(w io.Writer, entries []TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%d\t%d\n",
+			e.Key.SrcIP, e.Key.DstIP, e.Key.SrcPort, e.Key.DstPort, e.Key.Proto, e.MatchRule); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a ClassBench-format header trace from r. Lines may have
+// five fields (no ground truth) or six.
+func ReadTrace(r io.Reader) ([]TraceEntry, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []TraceEntry
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 5 && len(fields) != 6 {
+			return nil, fmt.Errorf("packet: trace line %d: expected 5 or 6 fields, got %d", lineNo, len(fields))
+		}
+		var vals [6]uint64
+		vals[5] = 0
+		for i, f := range fields {
+			var v uint64
+			if _, err := fmt.Sscanf(f, "%d", &v); err != nil {
+				return nil, fmt.Errorf("packet: trace line %d field %d: %w", lineNo, i, err)
+			}
+			vals[i] = v
+		}
+		e := TraceEntry{
+			Key: rule.Packet{
+				SrcIP:   uint32(vals[0]),
+				DstIP:   uint32(vals[1]),
+				SrcPort: uint16(vals[2]),
+				DstPort: uint16(vals[3]),
+				Proto:   uint8(vals[4]),
+			},
+			MatchRule: -1,
+		}
+		if len(fields) == 6 {
+			e.MatchRule = int(vals[5])
+		}
+		out = append(out, e)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("packet: reading trace: %w", err)
+	}
+	return out, nil
+}
+
+// WriteWireTrace serializes each entry as a raw IPv4 packet and writes a
+// simple length-prefixed binary stream: a 2-byte big-endian length followed
+// by the packet bytes, repeated.
+func WriteWireTrace(w io.Writer, entries []TraceEntry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		pkt, err := Serialize(e.Key)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write([]byte{byte(len(pkt) >> 8), byte(len(pkt))}); err != nil {
+			return err
+		}
+		if _, err := bw.Write(pkt); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWireTrace reads a length-prefixed binary packet stream produced by
+// WriteWireTrace and decodes each packet into a classification key.
+func ReadWireTrace(r io.Reader) ([]TraceEntry, error) {
+	br := bufio.NewReader(r)
+	var out []TraceEntry
+	var dec Decoder
+	buf := make([]byte, 0, 128)
+	for {
+		var lenBytes [2]byte
+		if _, err := io.ReadFull(br, lenBytes[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, fmt.Errorf("packet: reading wire trace length: %w", err)
+		}
+		n := int(lenBytes[0])<<8 | int(lenBytes[1])
+		if cap(buf) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("packet: reading wire trace packet: %w", err)
+		}
+		key, err := dec.Decode(buf)
+		if err != nil {
+			return nil, fmt.Errorf("packet: decoding wire trace packet %d: %w", len(out), err)
+		}
+		out = append(out, TraceEntry{Key: key, MatchRule: -1})
+	}
+}

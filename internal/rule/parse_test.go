@@ -1,0 +1,169 @@
+package rule
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const sampleClassBench = `# sample classifier
+@10.0.0.0/8	192.168.0.0/16	0 : 65535	1024 : 2048	0x06/0xFF	0x0000/0x0000
+@0.0.0.0/0	0.0.0.0/0	53 : 53	0 : 65535	0x11/0xFF	0x0000/0x0000
+@172.16.1.0/24	10.10.0.0/16	0 : 1023	80 : 80	0x00/0x00	0x0000/0x0000
+
+@0.0.0.0/0	0.0.0.0/0	0 : 65535	0 : 65535	0x00/0x00	0x0000/0x0000
+`
+
+func TestParseClassBench(t *testing.T) {
+	s, err := ParseClassBench(strings.NewReader(sampleClassBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("parsed %d rules, want 4", s.Len())
+	}
+	r0 := s.Rule(0)
+	lo, _ := ParseIPv4("10.0.0.0")
+	hi, _ := ParseIPv4("10.255.255.255")
+	if r0.Ranges[DimSrcIP] != (Range{Lo: uint64(lo), Hi: uint64(hi)}) {
+		t.Errorf("rule 0 src = %s", r0.Ranges[DimSrcIP])
+	}
+	if r0.Ranges[DimDstPort] != (Range{Lo: 1024, Hi: 2048}) {
+		t.Errorf("rule 0 dst port = %s", r0.Ranges[DimDstPort])
+	}
+	if r0.Ranges[DimProto] != (Range{Lo: 6, Hi: 6}) {
+		t.Errorf("rule 0 proto = %s", r0.Ranges[DimProto])
+	}
+	r1 := s.Rule(1)
+	if !r1.IsWildcard(DimSrcIP) || !r1.IsWildcard(DimDstIP) {
+		t.Error("rule 1 should have wildcard IPs")
+	}
+	if r1.Ranges[DimSrcPort] != (Range{Lo: 53, Hi: 53}) {
+		t.Errorf("rule 1 sport = %s", r1.Ranges[DimSrcPort])
+	}
+	r2 := s.Rule(2)
+	if !r2.IsWildcard(DimProto) {
+		t.Error("rule 2 proto/0x00 mask should be wildcard")
+	}
+	if !s.HasDefaultRule() {
+		t.Error("rule 3 should be the default rule")
+	}
+}
+
+func TestParseClassBenchErrors(t *testing.T) {
+	bad := []string{
+		"10.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF 0x0000/0x0000", // missing @
+		"@10.0.0.0 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF 0x0000/0x0000",  // missing /len
+		"@10.0.0.0/40 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF 0x0",         // prefix too long
+		"@10.0.0.0/8 0.0.0.0/0 10 : 5 0 : 65535 0x06/0xFF 0x0000",          // inverted port range
+		"@10.0.0.0/8 0.0.0.0/0 0 ; 65535 0 : 65535 0x06/0xFF 0x0000",       // bad separator
+		"@10.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 99999 0x06/0xFF 0x0000",       // port overflow
+		"@10.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0x0F 0x0000",       // unsupported proto mask
+		"@10.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 zz/0xFF 0x0000",         // bad proto value
+		"@10.0.0.0/8 0.0.0.0/0 0 : 65535",                                  // too few fields
+		"@300.0.0.0/8 0.0.0.0/0 0 : 65535 0 : 65535 0x06/0xFF 0x0000",      // bad address
+	}
+	for _, line := range bad {
+		if _, err := ParseClassBenchLine(line); err == nil {
+			t.Errorf("expected error for %q", line)
+		}
+	}
+	if _, err := ParseClassBench(strings.NewReader("@garbage\n")); err == nil {
+		t.Error("ParseClassBench should surface line errors")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	rules := make([]Rule, 0, 64)
+	for i := 0; i < 63; i++ {
+		r := NewWildcardRule(i)
+		for _, d := range []Dimension{DimSrcIP, DimDstIP} {
+			plen := uint(rng.Intn(33))
+			r.Ranges[d] = PrefixRange(rng.Uint64()&d.MaxValue(), plen, 32)
+		}
+		for _, d := range []Dimension{DimSrcPort, DimDstPort} {
+			a := uint64(rng.Intn(65536))
+			b := uint64(rng.Intn(65536))
+			if a > b {
+				a, b = b, a
+			}
+			r.Ranges[d] = Range{Lo: a, Hi: b}
+		}
+		if rng.Intn(2) == 0 {
+			r.Ranges[DimProto] = Range{Lo: uint64(rng.Intn(256)), Hi: 0}
+			r.Ranges[DimProto].Hi = r.Ranges[DimProto].Lo
+		}
+		rules = append(rules, r)
+	}
+	rules = append(rules, NewWildcardRule(63))
+	orig := NewSet(rules)
+
+	var buf bytes.Buffer
+	if err := WriteClassBench(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseClassBench(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != orig.Len() {
+		t.Fatalf("round trip length %d != %d", parsed.Len(), orig.Len())
+	}
+	// IP ranges may have been widened to covering prefixes, but port, proto
+	// and prefix-expressible IP ranges must round-trip exactly.
+	for i := 0; i < orig.Len(); i++ {
+		o, p := orig.Rule(i), parsed.Rule(i)
+		for _, d := range []Dimension{DimSrcPort, DimDstPort, DimProto} {
+			if o.Ranges[d] != p.Ranges[d] {
+				t.Errorf("rule %d dim %s: %s != %s", i, d, o.Ranges[d], p.Ranges[d])
+			}
+		}
+		for _, d := range []Dimension{DimSrcIP, DimDstIP} {
+			if _, isPrefix := o.Ranges[d].PrefixLen(32); isPrefix {
+				if o.Ranges[d] != p.Ranges[d] {
+					t.Errorf("rule %d dim %s: prefix %s did not round-trip (%s)", i, d, o.Ranges[d], p.Ranges[d])
+				}
+			} else if !p.Ranges[d].Covers(o.Ranges[d]) {
+				t.Errorf("rule %d dim %s: widened prefix %s does not cover %s", i, d, p.Ranges[d], o.Ranges[d])
+			}
+		}
+	}
+}
+
+func TestFormatClassBenchLine(t *testing.T) {
+	r := NewWildcardRule(0)
+	r.Ranges[DimProto] = Range{Lo: 6, Hi: 6}
+	line := FormatClassBenchLine(r)
+	if !strings.HasPrefix(line, "@0.0.0.0/0") || !strings.Contains(line, "0x06/0xFF") {
+		t.Errorf("unexpected line %q", line)
+	}
+	back, err := ParseClassBenchLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Ranges != r.Ranges {
+		t.Errorf("line round trip mismatch: %v vs %v", back.Ranges, r.Ranges)
+	}
+}
+
+func TestCoveringPrefix(t *testing.T) {
+	// A non-prefix range is widened to the smallest covering prefix.
+	addr, plen := coveringPrefix(Range{Lo: 3, Hi: 5}, 32)
+	p := PrefixRange(addr, plen, 32)
+	if !p.Covers(Range{Lo: 3, Hi: 5}) {
+		t.Errorf("covering prefix %s does not cover [3,5]", p)
+	}
+	// An exact prefix stays exact.
+	orig := PrefixRange(0x0A000000, 8, 32)
+	addr, plen = coveringPrefix(orig, 32)
+	if PrefixRange(addr, plen, 32) != orig {
+		t.Error("exact prefix was widened")
+	}
+	// The full range maps to /0.
+	_, plen = coveringPrefix(Range{Lo: 0, Hi: 0xFFFFFFFF}, 32)
+	if plen != 0 {
+		t.Errorf("full range prefix len = %d", plen)
+	}
+}

@@ -1,0 +1,260 @@
+package rule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func makeTestSet() *Set {
+	r0 := NewWildcardRule(0)
+	r0.Ranges[DimSrcPort] = Range{Lo: 0, Hi: 1023}
+	r1 := NewWildcardRule(1)
+	r1.Ranges[DimDstPort] = Range{Lo: 80, Hi: 80}
+	r2 := NewWildcardRule(2)
+	r2.Ranges[DimProto] = Range{Lo: 17, Hi: 17}
+	r3 := NewWildcardRule(3)
+	return NewSet([]Rule{r0, r1, r2, r3})
+}
+
+func TestSetBasics(t *testing.T) {
+	s := makeTestSet()
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.HasDefaultRule() {
+		t.Fatal("default rule missing")
+	}
+	for i, r := range s.Rules() {
+		if r.Priority != i || r.ID != i {
+			t.Errorf("rule %d priority/id = %d/%d", i, r.Priority, r.ID)
+		}
+	}
+	if s.Rule(2).Ranges[DimProto].Lo != 17 {
+		t.Error("Rule(2) wrong")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSetMatch(t *testing.T) {
+	s := makeTestSet()
+	// Packet matching rules 0, 1, 3 -> winner is 0.
+	p := Packet{SrcPort: 100, DstPort: 80, Proto: 6}
+	got, ok := s.Match(p)
+	if !ok || got.Priority != 0 {
+		t.Fatalf("Match = %v %v", got, ok)
+	}
+	if idx := s.MatchIndex(p); idx != 0 {
+		t.Fatalf("MatchIndex = %d", idx)
+	}
+	// Packet matching only the default rule.
+	p2 := Packet{SrcPort: 5000, DstPort: 443, Proto: 6}
+	got, ok = s.Match(p2)
+	if !ok || got.Priority != 3 {
+		t.Fatalf("Match = %v %v", got, ok)
+	}
+	// Empty set never matches.
+	empty := NewSet(nil)
+	if _, ok := empty.Match(p); ok {
+		t.Error("empty set matched")
+	}
+	if empty.MatchIndex(p) != -1 {
+		t.Error("empty set MatchIndex != -1")
+	}
+	if empty.HasDefaultRule() {
+		t.Error("empty set has default rule")
+	}
+}
+
+func TestSetCloneIndependence(t *testing.T) {
+	s := makeTestSet()
+	c := s.Clone()
+	c.Remove(0)
+	if s.Len() != 4 || c.Len() != 3 {
+		t.Fatalf("clone not independent: %d %d", s.Len(), c.Len())
+	}
+}
+
+func TestSetInsertRemove(t *testing.T) {
+	s := makeTestSet()
+	r := NewWildcardRule(0)
+	r.Ranges[DimProto] = Range{Lo: 1, Hi: 1}
+	s.Insert(1, r)
+	if s.Len() != 5 {
+		t.Fatalf("Len after insert = %d", s.Len())
+	}
+	if s.Rule(1).Ranges[DimProto].Lo != 1 {
+		t.Error("inserted rule not at position 1")
+	}
+	for i, rr := range s.Rules() {
+		if rr.Priority != i {
+			t.Errorf("priority %d at index %d after insert", rr.Priority, i)
+		}
+	}
+	s.Remove(1)
+	if s.Len() != 4 {
+		t.Fatalf("Len after remove = %d", s.Len())
+	}
+	// Out-of-range operations are no-ops / clamped.
+	s.Remove(99)
+	s.Remove(-1)
+	if s.Len() != 4 {
+		t.Fatal("out-of-range remove changed the set")
+	}
+	s.Insert(-5, r)
+	s.Insert(99, r)
+	if s.Len() != 6 {
+		t.Fatalf("clamped inserts failed: %d", s.Len())
+	}
+}
+
+func TestSetAppend(t *testing.T) {
+	s := NewSet(nil)
+	s.Append(NewWildcardRule(0))
+	s.Append(NewWildcardRule(0))
+	if s.Len() != 2 || s.Rule(1).Priority != 1 {
+		t.Fatalf("append bookkeeping wrong: %+v", s.Rules())
+	}
+}
+
+func TestRemoveShadowed(t *testing.T) {
+	broad := NewWildcardRule(0)
+	broad.Ranges[DimSrcPort] = Range{Lo: 0, Hi: 1000}
+	narrow := NewWildcardRule(1)
+	narrow.Ranges[DimSrcPort] = Range{Lo: 10, Hi: 20}
+	other := NewWildcardRule(2)
+	other.Ranges[DimDstPort] = Range{Lo: 0, Hi: 10}
+
+	s := NewSet([]Rule{broad, narrow, other})
+	removed := s.RemoveShadowed()
+	if removed != 1 {
+		t.Fatalf("removed %d shadowed rules, want 1", removed)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// The narrow rule is gone, the non-shadowed one remains with renumbered
+	// priority.
+	if s.Rule(1).Ranges[DimDstPort].Hi != 10 || s.Rule(1).Priority != 1 {
+		t.Errorf("unexpected remaining rule: %v", s.Rule(1))
+	}
+}
+
+func TestNewSetKeepPriorities(t *testing.T) {
+	a := NewWildcardRule(5)
+	a.ID = 100
+	b := NewWildcardRule(2)
+	b.ID = 200
+	s := NewSetKeepPriorities([]Rule{a, b})
+	if s.Rule(0).Priority != 2 || s.Rule(0).ID != 200 {
+		t.Fatalf("sorting by priority failed: %+v", s.Rules())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	r0 := NewWildcardRule(0)
+	r0.Ranges[DimSrcIP] = PrefixRange(0x0A000000, 8, 32)
+	r1 := NewWildcardRule(1)
+	r1.Ranges[DimSrcIP] = PrefixRange(0x0A000000, 8, 32)
+	r1.Ranges[DimProto] = Range{Lo: 6, Hi: 6}
+	r2 := NewWildcardRule(2)
+
+	s := NewSet([]Rule{r0, r1, r2})
+	st := s.ComputeStats()
+	if st.NumRules != 3 {
+		t.Fatalf("NumRules = %d", st.NumRules)
+	}
+	if st.DistinctRanges[DimSrcIP] != 2 {
+		t.Errorf("DistinctRanges[SrcIP] = %d, want 2", st.DistinctRanges[DimSrcIP])
+	}
+	if st.WildcardFraction[DimSrcIP] < 0.3 || st.WildcardFraction[DimSrcIP] > 0.34 {
+		t.Errorf("WildcardFraction[SrcIP] = %v", st.WildcardFraction[DimSrcIP])
+	}
+	if st.LargeFraction[DimDstIP] != 1.0 {
+		t.Errorf("LargeFraction[DstIP] = %v", st.LargeFraction[DimDstIP])
+	}
+	if st.AvgWildcards <= 0 {
+		t.Errorf("AvgWildcards = %v", st.AvgWildcards)
+	}
+	// Empty set stats.
+	if got := NewSet(nil).ComputeStats(); got.NumRules != 0 {
+		t.Errorf("empty stats = %+v", got)
+	}
+}
+
+func TestDistinctCounts(t *testing.T) {
+	rules := []Rule{}
+	for i := 0; i < 4; i++ {
+		r := NewWildcardRule(i)
+		r.Ranges[DimSrcPort] = Range{Lo: uint64(i * 10), Hi: uint64(i*10 + 5)}
+		rules = append(rules, r)
+	}
+	if got := DistinctRangeCount(rules, DimSrcPort); got != 4 {
+		t.Errorf("DistinctRangeCount = %d", got)
+	}
+	if got := DistinctRangeCount(rules, DimDstPort); got != 1 {
+		t.Errorf("DistinctRangeCount(wildcard dim) = %d", got)
+	}
+	box := Range{Lo: 0, Hi: 15}
+	if got := DistinctValueCount(rules, DimSrcPort, box); got != 4 {
+		// endpoints 0,5,10,15 within the box
+		t.Errorf("DistinctValueCount = %d", got)
+	}
+}
+
+func TestValidateCatchesBadRules(t *testing.T) {
+	bad := NewWildcardRule(0)
+	bad.Ranges[DimSrcPort] = Range{Lo: 10, Hi: 5}
+	s := NewSet([]Rule{bad})
+	if err := s.Validate(); err == nil {
+		t.Error("inverted range not caught")
+	}
+	bad2 := NewWildcardRule(0)
+	bad2.Ranges[DimProto] = Range{Lo: 0, Hi: 300}
+	s2 := NewSet([]Rule{bad2})
+	if err := s2.Validate(); err == nil {
+		t.Error("overflow range not caught")
+	}
+}
+
+// Property: the linear-search winner is always the lowest-index rule that
+// matches, and removing shadowed rules never changes any packet's winner.
+func TestPropertyShadowRemovalPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		rules := make([]Rule, 0, n+1)
+		for i := 0; i < n; i++ {
+			rules = append(rules, randomRule(rng))
+		}
+		rules = append(rules, NewWildcardRule(n)) // default
+		s := NewSet(rules)
+		s2 := s.Clone()
+		s2.RemoveShadowed()
+		for i := 0; i < 50; i++ {
+			p := Packet{
+				SrcIP:   rng.Uint32(),
+				DstIP:   rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)),
+				DstPort: uint16(rng.Intn(65536)),
+				Proto:   uint8(rng.Intn(256)),
+			}
+			a, okA := s.Match(p)
+			b, okB := s2.Match(p)
+			if okA != okB {
+				return false
+			}
+			// Winners must be the same rule geometrically (priorities may be
+			// renumbered after removal).
+			if okA && !a.Equal(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,262 @@
+// Package server exposes a packet classifier over TCP so that the decision
+// trees built by this repository can be queried by external tools (or by the
+// bundled cmd/classifyd client). The protocol is a plain text line protocol:
+//
+//	request:  "<srcIP> <dstIP> <srcPort> <dstPort> <proto>\n"
+//	          where the IPs are dotted quads or decimal integers
+//	response: "match <ruleID> priority <priority>\n"  or
+//	          "no-match\n"                            or
+//	          "error <message>\n"
+//
+// The special request "stats\n" returns one line of server statistics and
+// "quit\n" closes the connection. One goroutine serves each connection; the
+// classifier lookup itself is read-only and shared.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"neurocuts/internal/rule"
+)
+
+// Classifier is the lookup interface the server exposes; decision trees,
+// multi-tree classifiers and the linear-search reference all satisfy it.
+type Classifier interface {
+	Classify(p rule.Packet) (rule.Rule, bool)
+}
+
+// Server serves classification requests over TCP.
+type Server struct {
+	classifier Classifier
+
+	mu       sync.Mutex
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+
+	// counters (atomic).
+	requests   atomic.Int64
+	matches    atomic.Int64
+	parseFails atomic.Int64
+}
+
+// New creates a server around the classifier.
+func New(c Classifier) *Server {
+	return &Server{classifier: c}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve loops run in background goroutines until
+// Close is called.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return nil, errors.New("server: already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops the listener and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats summarises the server's request counters.
+type Stats struct {
+	Requests   int64
+	Matches    int64
+	ParseFails int64
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Requests:   s.requests.Load(),
+		Matches:    s.matches.Load(),
+		ParseFails: s.parseFails.Load(),
+	}
+}
+
+// handle serves one connection until EOF, "quit" or a write error.
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
+	w := bufio.NewWriter(conn)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" {
+			w.Flush()
+			return
+		}
+		if line == "stats" {
+			st := s.Stats()
+			fmt.Fprintf(w, "stats requests=%d matches=%d parse-failures=%d\n", st.Requests, st.Matches, st.ParseFails)
+			if w.Flush() != nil {
+				return
+			}
+			continue
+		}
+		resp := s.respond(line)
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+// respond processes one request line and returns the response line.
+func (s *Server) respond(line string) string {
+	s.requests.Add(1)
+	p, err := ParseRequest(line)
+	if err != nil {
+		s.parseFails.Add(1)
+		return "error " + err.Error()
+	}
+	r, ok := s.classifier.Classify(p)
+	if !ok {
+		return "no-match"
+	}
+	s.matches.Add(1)
+	return fmt.Sprintf("match %d priority %d", r.ID, r.Priority)
+}
+
+// ParseRequest parses a request line into a packet key. IP fields accept
+// dotted-quad or decimal notation.
+func ParseRequest(line string) (rule.Packet, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 5 {
+		return rule.Packet{}, fmt.Errorf("expected 5 fields, got %d", len(fields))
+	}
+	src, err := parseIPField(fields[0])
+	if err != nil {
+		return rule.Packet{}, fmt.Errorf("src ip: %v", err)
+	}
+	dst, err := parseIPField(fields[1])
+	if err != nil {
+		return rule.Packet{}, fmt.Errorf("dst ip: %v", err)
+	}
+	sp, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return rule.Packet{}, fmt.Errorf("src port: %v", err)
+	}
+	dp, err := strconv.ParseUint(fields[3], 10, 16)
+	if err != nil {
+		return rule.Packet{}, fmt.Errorf("dst port: %v", err)
+	}
+	proto, err := strconv.ParseUint(fields[4], 10, 8)
+	if err != nil {
+		return rule.Packet{}, fmt.Errorf("proto: %v", err)
+	}
+	return rule.Packet{
+		SrcIP: src, DstIP: dst,
+		SrcPort: uint16(sp), DstPort: uint16(dp), Proto: uint8(proto),
+	}, nil
+}
+
+func parseIPField(s string) (uint32, error) {
+	if strings.Contains(s, ".") {
+		return rule.ParseIPv4(s)
+	}
+	v, err := strconv.ParseUint(s, 10, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}
+
+// Client is a minimal client for the server's protocol.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a classification server.
+func Dial(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Classify sends one request and parses the response. It returns the rule ID
+// and priority, or ok=false for a "no-match" response.
+func (c *Client) Classify(p rule.Packet) (id, priority int, ok bool, err error) {
+	req := fmt.Sprintf("%d %d %d %d %d\n", p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto)
+	if _, err = c.w.WriteString(req); err != nil {
+		return 0, 0, false, err
+	}
+	if err = c.w.Flush(); err != nil {
+		return 0, 0, false, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, 0, false, err
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "no-match":
+		return 0, 0, false, nil
+	case strings.HasPrefix(line, "match "):
+		if _, err := fmt.Sscanf(line, "match %d priority %d", &id, &priority); err != nil {
+			return 0, 0, false, fmt.Errorf("server: malformed response %q", line)
+		}
+		return id, priority, true, nil
+	default:
+		return 0, 0, false, fmt.Errorf("server: %s", line)
+	}
+}

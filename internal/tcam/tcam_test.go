@@ -1,0 +1,109 @@
+package tcam
+
+import (
+	"math/rand"
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+func TestBuildAndClassifyMatchesLinearSearch(t *testing.T) {
+	for _, famName := range []string{"acl1", "ipc2"} {
+		fam, _ := classbench.FamilyByName(famName)
+		set := classbench.Generate(fam, 250, 1)
+		c, err := Build(set, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", famName, err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 1500; i++ {
+			p := rule.Packet{
+				SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				Proto: uint8(rng.Intn(256)),
+			}
+			want, okW := set.Match(p)
+			got, okG := c.Classify(p)
+			if okW != okG || (okW && got.Priority != want.Priority) {
+				t.Fatalf("%s: mismatch on %v", famName, p)
+			}
+		}
+	}
+}
+
+func TestMetricsAndExpansion(t *testing.T) {
+	fam, _ := classbench.FamilyByName("fw1")
+	set := classbench.Generate(fam, 300, 3)
+	c, err := Build(set, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.LookupTime != 1 {
+		t.Errorf("TCAM lookup time must be constant 1, got %d", m.LookupTime)
+	}
+	if m.Entries < set.Len() {
+		t.Errorf("entries %d < rules %d", m.Entries, set.Len())
+	}
+	// Firewall rules carry arbitrary port ranges, so range expansion must
+	// show up.
+	if m.ExpansionFactor <= 1.0 {
+		t.Errorf("expansion factor %v should exceed 1 on fw rules", m.ExpansionFactor)
+	}
+	if m.Bits != m.Entries*EntryBits {
+		t.Errorf("bits %d inconsistent", m.Bits)
+	}
+	if m.PowerMilliwatts <= 0 {
+		t.Errorf("power %v", m.PowerMilliwatts)
+	}
+}
+
+func TestExpansionLimitRejectsPathologicalRules(t *testing.T) {
+	r := rule.NewWildcardRule(0)
+	r.Ranges[rule.DimSrcPort] = rule.Range{Lo: 1, Hi: 65534}
+	r.Ranges[rule.DimDstPort] = rule.Range{Lo: 1, Hi: 65534}
+	set := rule.NewSet([]rule.Rule{r})
+	if _, err := Build(set, 64); err == nil {
+		t.Error("expected expansion-limit error")
+	}
+	// With a generous limit the same rule programs fine.
+	if _, err := Build(set, 1_000_000); err != nil {
+		t.Errorf("generous limit should succeed: %v", err)
+	}
+}
+
+func TestPriorityResolution(t *testing.T) {
+	// Overlapping entries: the lower priority value must win even if it was
+	// programmed later in the table.
+	broad := rule.NewWildcardRule(1)
+	narrow := rule.NewWildcardRule(0)
+	narrow.Ranges[rule.DimProto] = rule.Range{Lo: 17, Hi: 17}
+	set := rule.NewSet([]rule.Rule{narrow, broad})
+	c, err := Build(set, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Classify(rule.Packet{Proto: 17})
+	if !ok || got.Priority != 0 {
+		t.Fatalf("got %v/%v", got.Priority, ok)
+	}
+	got, ok = c.Classify(rule.Packet{Proto: 6})
+	if !ok || got.Priority != 1 {
+		t.Fatalf("got %v/%v", got.Priority, ok)
+	}
+}
+
+func TestEmptyClassifier(t *testing.T) {
+	c, err := Build(rule.NewSet(nil), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Classify(rule.Packet{}); ok {
+		t.Error("empty TCAM matched something")
+	}
+	m := c.Metrics()
+	if m.Entries != 0 || m.ExpansionFactor != 0 {
+		t.Errorf("empty metrics %+v", m)
+	}
+}

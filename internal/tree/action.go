@@ -1,0 +1,273 @@
+package tree
+
+import (
+	"fmt"
+
+	"neurocuts/internal/rule"
+)
+
+// MaxCutsPerDim caps the number of equal-sized pieces a single cut action
+// may create in one dimension. It is a sanity bound on the engine; the
+// NeuroCuts agent further restricts itself to the CutSizes fan-outs while
+// hand-tuned heuristics such as HiCuts may use larger fan-outs.
+const MaxCutsPerDim = 256
+
+// CutSizes is the set of cut fan-outs available to the NeuroCuts agent
+// ({2, 4, 8, 16, 32}, Section 4.1 of the paper).
+var CutSizes = []int{2, 4, 8, 16, 32}
+
+// Cut splits node n along a single dimension into k equal-sized pieces and
+// attaches the resulting children. Rules are replicated into every child
+// whose sub-box they intersect. It returns the created children.
+//
+// Cutting an already-expanded node or using a fan-out below 2 is a
+// programming error and returns an error without modifying the node.
+func (t *Tree) Cut(n *Node, dim rule.Dimension, k int) ([]*Node, error) {
+	return t.CutMulti(n, []rule.Dimension{dim}, []int{k})
+}
+
+// CutMulti splits node n along several dimensions at once (the HyperCuts
+// generalisation): dims[i] is cut into counts[i] equal pieces and the
+// children form the cross product of the per-dimension pieces.
+func (t *Tree) CutMulti(n *Node, dims []rule.Dimension, counts []int) ([]*Node, error) {
+	if !n.IsLeaf() {
+		return nil, fmt.Errorf("tree: node already expanded (%s)", n.Kind)
+	}
+	if len(dims) == 0 || len(dims) != len(counts) {
+		return nil, fmt.Errorf("tree: mismatched cut dims/counts (%d vs %d)", len(dims), len(counts))
+	}
+	seen := map[rule.Dimension]bool{}
+	total := 1
+	for i, d := range dims {
+		if seen[d] {
+			return nil, fmt.Errorf("tree: dimension %s cut twice in one action", d)
+		}
+		seen[d] = true
+		if counts[i] < 2 {
+			return nil, fmt.Errorf("tree: cut count %d in %s must be >= 2", counts[i], d)
+		}
+		if counts[i] > MaxCutsPerDim {
+			return nil, fmt.Errorf("tree: cut count %d in %s exceeds max %d", counts[i], d, MaxCutsPerDim)
+		}
+		total *= counts[i]
+	}
+
+	// Pre-compute the sub-ranges per dimension.
+	pieces := make([][]rule.Range, len(dims))
+	for i, d := range dims {
+		pieces[i] = splitRange(n.Box[d], counts[i])
+		// A box can be narrower than the requested fan-out; splitRange then
+		// returns fewer pieces and the effective fan-out shrinks.
+		counts[i] = len(pieces[i])
+	}
+	total = 1
+	for _, c := range counts {
+		total *= c
+	}
+
+	children := make([]*Node, 0, total)
+	idx := make([]int, len(dims))
+	for {
+		child := &Node{Kind: KindLeaf, Box: n.Box, Depth: n.Depth + 1}
+		for i, d := range dims {
+			child.Box[d] = pieces[i][idx[i]]
+		}
+		child.Rules = assignRules(n.Rules, child.Box)
+		children = append(children, child)
+
+		// Advance the mixed-radix counter over idx.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < counts[i] {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+
+	n.Kind = KindCut
+	n.CutDims = append([]rule.Dimension(nil), dims...)
+	n.CutCounts = append([]int(nil), counts...)
+	n.Children = children
+	return children, nil
+}
+
+// CutAtPoints splits node n along a single dimension at explicit boundaries:
+// points must be strictly increasing values inside the node's range for dim,
+// and each point p starts a new child at p (so k points produce k+1
+// children). This is the "equi-dense" cut used by EffiCuts and the
+// HyperSplit-style splits used by CutSplit, where cut boundaries follow the
+// rule distribution rather than being equal-sized.
+func (t *Tree) CutAtPoints(n *Node, dim rule.Dimension, points []uint64) ([]*Node, error) {
+	if !n.IsLeaf() {
+		return nil, fmt.Errorf("tree: node already expanded (%s)", n.Kind)
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("tree: CutAtPoints needs at least one boundary")
+	}
+	box := n.Box[dim]
+	prev := box.Lo
+	pieces := make([]rule.Range, 0, len(points)+1)
+	for i, p := range points {
+		if p <= prev || p > box.Hi {
+			return nil, fmt.Errorf("tree: boundary %d (%d) outside (%d, %d]", i, p, prev, box.Hi)
+		}
+		pieces = append(pieces, rule.Range{Lo: prev, Hi: p - 1})
+		prev = p
+	}
+	pieces = append(pieces, rule.Range{Lo: prev, Hi: box.Hi})
+
+	children := make([]*Node, 0, len(pieces))
+	for _, piece := range pieces {
+		child := &Node{Kind: KindLeaf, Box: n.Box, Depth: n.Depth + 1}
+		child.Box[dim] = piece
+		child.Rules = assignRules(n.Rules, child.Box)
+		children = append(children, child)
+	}
+	n.Kind = KindCut
+	n.CutDims = []rule.Dimension{dim}
+	n.CutCounts = []int{len(children)}
+	n.CustomCut = true
+	n.Children = children
+	return children, nil
+}
+
+// Partition splits node n's rules into the given disjoint groups and creates
+// one child per non-empty group, each covering the same box as n. Labels
+// (optional, may be nil) annotate the children. It returns the created
+// children.
+func (t *Tree) Partition(n *Node, groups [][]rule.Rule, labels []string) ([]*Node, error) {
+	if !n.IsLeaf() {
+		return nil, fmt.Errorf("tree: node already expanded (%s)", n.Kind)
+	}
+	if len(groups) < 2 {
+		return nil, fmt.Errorf("tree: partition needs at least 2 groups, got %d", len(groups))
+	}
+	totalRules := 0
+	for _, g := range groups {
+		totalRules += len(g)
+	}
+	if totalRules != len(n.Rules) {
+		return nil, fmt.Errorf("tree: partition groups hold %d rules, node holds %d", totalRules, len(n.Rules))
+	}
+	children := make([]*Node, 0, len(groups))
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		child := &Node{
+			Kind:  KindLeaf,
+			Box:   n.Box,
+			Depth: n.Depth + 1,
+			Rules: append([]rule.Rule(nil), g...),
+		}
+		if labels != nil && i < len(labels) {
+			child.PartitionLabel = labels[i]
+		}
+		children = append(children, child)
+	}
+	if len(children) < 2 {
+		return nil, fmt.Errorf("tree: partition produced %d non-empty groups, need >= 2", len(children))
+	}
+	n.Kind = KindPartition
+	n.Children = children
+	return children, nil
+}
+
+// PartitionByCoverage splits node n's rules into two groups by whether their
+// coverage of dimension dim exceeds threshold (the "simple" partition action
+// of the NeuroCuts action space). It fails if either side would be empty,
+// because such a partition makes no progress.
+func (t *Tree) PartitionByCoverage(n *Node, dim rule.Dimension, threshold float64) ([]*Node, error) {
+	var small, large []rule.Rule
+	for _, r := range n.Rules {
+		if r.Coverage(dim) > threshold {
+			large = append(large, r)
+		} else {
+			small = append(small, r)
+		}
+	}
+	if len(small) == 0 || len(large) == 0 {
+		return nil, fmt.Errorf("tree: coverage partition on %s at %.2f is degenerate (%d/%d)",
+			dim, threshold, len(small), len(large))
+	}
+	return t.Partition(n, [][]rule.Rule{small, large},
+		[]string{fmt.Sprintf("%s<=%.2f", dim, threshold), fmt.Sprintf("%s>%.2f", dim, threshold)})
+}
+
+// splitRange divides r into k equal-sized sub-ranges (the last sub-range
+// absorbs the remainder). If the range has fewer than k values it returns
+// one sub-range per value.
+func splitRange(r rule.Range, k int) []rule.Range {
+	size := r.Size()
+	if uint64(k) > size {
+		k = int(size)
+	}
+	if k <= 1 {
+		return []rule.Range{r}
+	}
+	out := make([]rule.Range, 0, k)
+	step := size / uint64(k)
+	lo := r.Lo
+	for i := 0; i < k; i++ {
+		hi := lo + step - 1
+		if i == k-1 {
+			hi = r.Hi
+		}
+		out = append(out, rule.Range{Lo: lo, Hi: hi})
+		lo = hi + 1
+	}
+	return out
+}
+
+// redundancyLimit bounds the quadratic rule-overlap optimisation: nodes
+// holding more rules than this skip redundancy elimination (keeping the
+// redundant rules is always correct, just slightly larger), so that cutting
+// the top of a 100k-rule tree stays near-linear.
+const redundancyLimit = 4096
+
+// assignRules returns the rules that intersect the box, preserving priority
+// order, with rules made redundant inside the box removed: a rule is
+// redundant when a strictly higher-priority rule's intersection with the box
+// fully covers its own intersection (the standard HiCuts rule-overlap
+// optimisation, applied uniformly to all algorithms).
+func assignRules(rules []rule.Rule, box [rule.NumDims]rule.Range) []rule.Rule {
+	prune := len(rules) <= redundancyLimit
+	var out []rule.Rule
+	for _, r := range rules {
+		if !r.OverlapsBox(box) {
+			continue
+		}
+		if prune {
+			clipped := clipToBox(r, box)
+			redundant := false
+			for _, kept := range out {
+				if clipToBox(kept, box).Covers(clipped) {
+					redundant = true
+					break
+				}
+			}
+			if redundant {
+				continue
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// clipToBox returns a copy of r with every dimension clipped to the box.
+// Callers guarantee that r overlaps the box.
+func clipToBox(r rule.Rule, box [rule.NumDims]rule.Range) rule.Rule {
+	clipped := r
+	for _, d := range rule.Dimensions() {
+		if ir, ok := r.Ranges[d].Intersect(box[d]); ok {
+			clipped.Ranges[d] = ir
+		}
+	}
+	return clipped
+}

@@ -1,0 +1,121 @@
+package tree
+
+import "neurocuts/internal/rule"
+
+// Classify walks the tree and returns the highest-priority rule matching the
+// packet, plus false when no rule matches (which cannot happen when the
+// classifier carries a default rule). The walk also works on partially built
+// trees, where oversized leaves simply fall back to linear search.
+func (t *Tree) Classify(p rule.Packet) (rule.Rule, bool) {
+	best, depth := t.classifyNode(t.Root, p)
+	_ = depth
+	if best == nil {
+		return rule.Rule{}, false
+	}
+	return *best, true
+}
+
+// ClassifyWithDepth is Classify but also reports the number of node visits
+// the lookup performed (the classification-time metric for a single packet:
+// memory accesses along the path, summed across partition sub-lookups).
+func (t *Tree) ClassifyWithDepth(p rule.Packet) (rule.Rule, int, bool) {
+	best, visits := t.classifyNode(t.Root, p)
+	if best == nil {
+		return rule.Rule{}, visits, false
+	}
+	return *best, visits, true
+}
+
+// classifyNode returns the best matching rule in the subtree rooted at n (or
+// nil) and the number of nodes visited.
+func (t *Tree) classifyNode(n *Node, p rule.Packet) (*rule.Rule, int) {
+	visits := 1
+	switch {
+	case n.IsLeaf():
+		for i := range n.Rules {
+			if n.Rules[i].Matches(p) {
+				return &n.Rules[i], visits
+			}
+		}
+		return nil, visits
+
+	case n.Kind == KindCut:
+		child := n.childForPacket(p)
+		if child == nil {
+			return nil, visits
+		}
+		best, v := t.classifyNode(child, p)
+		return best, visits + v
+
+	default: // KindPartition: the packet must be checked against every child.
+		var best *rule.Rule
+		for _, c := range n.Children {
+			r, v := t.classifyNode(c, p)
+			visits += v
+			if r != nil && (best == nil || r.Priority < best.Priority) {
+				best = r
+			}
+		}
+		return best, visits
+	}
+}
+
+// childForPacket locates the cut child whose box contains the packet.
+// Children of a cut node tile the parent box, so exactly one child matches;
+// nil is only possible for packets outside the node's box.
+func (n *Node) childForPacket(p rule.Packet) *Node {
+	if n.CustomCut {
+		return n.scanChildForPacket(p)
+	}
+	// Compute the child index arithmetically from the cut structure instead
+	// of scanning: children are laid out in mixed-radix order over CutDims.
+	idx := 0
+	for i, d := range n.CutDims {
+		pieceCount := n.CutCounts[i]
+		dimRange := n.Box[d]
+		v := p.Field(d)
+		if !dimRange.Contains(v) {
+			return nil
+		}
+		step := dimRange.Size() / uint64(pieceCount)
+		var piece int
+		if step == 0 {
+			piece = 0
+		} else {
+			piece = int((v - dimRange.Lo) / step)
+		}
+		if piece >= pieceCount {
+			piece = pieceCount - 1
+		}
+		idx = idx*pieceCount + piece
+	}
+	if idx < 0 || idx >= len(n.Children) {
+		return nil
+	}
+	child := n.Children[idx]
+	// The arithmetic index matches splitRange's equal-step layout except for
+	// the final remainder piece; verify and fall back to a scan if the value
+	// landed on a boundary handled differently.
+	for _, d := range n.CutDims {
+		if !child.Box[d].Contains(p.Field(d)) {
+			return n.scanChildForPacket(p)
+		}
+	}
+	return child
+}
+
+func (n *Node) scanChildForPacket(p rule.Packet) *Node {
+	for _, c := range n.Children {
+		inside := true
+		for _, d := range n.CutDims {
+			if !c.Box[d].Contains(p.Field(d)) {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return c
+		}
+	}
+	return nil
+}

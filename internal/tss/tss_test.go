@@ -1,0 +1,177 @@
+package tss
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+func TestRangeToPrefixes(t *testing.T) {
+	// The classic example: [1, 14] over 4 bits needs 6 prefixes.
+	got := rangeToPrefixes(rule.Range{Lo: 1, Hi: 14}, 4)
+	if len(got) != 6 {
+		t.Errorf("[1,14]/4 bits decomposed into %d prefixes, want 6: %+v", len(got), got)
+	}
+	// Each prefix must be aligned and jointly cover exactly the range.
+	covered := uint64(0)
+	for _, p := range got {
+		size := uint64(1) << (4 - p.len)
+		if p.val%size != 0 {
+			t.Errorf("prefix %+v misaligned", p)
+		}
+		covered += size
+	}
+	if covered != 14 {
+		t.Errorf("prefixes cover %d values, want 14", covered)
+	}
+	// A full range is a single /0.
+	got = rangeToPrefixes(rule.FullRange(rule.DimSrcPort), 16)
+	if len(got) != 1 || got[0].len != 0 {
+		t.Errorf("full range = %+v", got)
+	}
+	// A single value is one /bits prefix.
+	got = rangeToPrefixes(rule.Range{Lo: 80, Hi: 80}, 16)
+	if len(got) != 1 || got[0].len != 16 || got[0].val != 80 {
+		t.Errorf("exact value = %+v", got)
+	}
+	// The topmost value terminates without overflow.
+	got = rangeToPrefixes(rule.Range{Lo: 65535, Hi: 65535}, 16)
+	if len(got) != 1 {
+		t.Errorf("top value = %+v", got)
+	}
+}
+
+// Property: the prefix decomposition covers exactly the range.
+func TestPropertyRangeToPrefixesCoverage(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lo, hi := uint64(a), uint64(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		prefixes := rangeToPrefixes(rule.Range{Lo: lo, Hi: hi}, 16)
+		total := uint64(0)
+		for _, p := range prefixes {
+			size := uint64(1) << (16 - p.len)
+			if p.val < lo || p.val+size-1 > hi {
+				return false
+			}
+			total += size
+		}
+		return total == hi-lo+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildAndClassifyMatchesLinearSearch(t *testing.T) {
+	for _, famName := range []string{"acl1", "fw2", "ipc1"} {
+		fam, _ := classbench.FamilyByName(famName)
+		set := classbench.Generate(fam, 300, 1)
+		c, err := Build(set)
+		if err != nil {
+			t.Fatalf("%s: %v", famName, err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 2000; i++ {
+			p := rule.Packet{
+				SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(65536)), DstPort: uint16(rng.Intn(65536)),
+				Proto: uint8(rng.Intn(256)),
+			}
+			want, okW := set.Match(p)
+			got, okG := c.Classify(p)
+			if okW != okG || (okW && got.Priority != want.Priority) {
+				t.Fatalf("%s: mismatch on %v: tss %v/%v linear %v/%v", famName, p, got.Priority, okG, want.Priority, okW)
+			}
+		}
+		for _, e := range classbench.GenerateTrace(set, 1000, 7) {
+			got, ok := c.Classify(e.Key)
+			if !ok || got.Priority != e.MatchRule {
+				t.Fatalf("%s: trace mismatch", famName)
+			}
+		}
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	fam, _ := classbench.FamilyByName("fw1")
+	set := classbench.Generate(fam, 400, 2)
+	c, err := Build(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := c.Metrics()
+	if m.Tuples < 2 {
+		t.Errorf("only %d tuples; firewall rules should span many mask vectors", m.Tuples)
+	}
+	if m.Entries < set.Len() {
+		t.Errorf("entries %d < rules %d", m.Entries, set.Len())
+	}
+	if m.ExpansionFactor < 1 {
+		t.Errorf("expansion factor %v", m.ExpansionFactor)
+	}
+	if m.MemoryBytes <= 0 || m.BytesPerRule <= 0 {
+		t.Errorf("degenerate memory metrics %+v", m)
+	}
+	// Empty classifier metrics are all zero.
+	empty := &Classifier{byKey: map[tupleKey]*tuple{}}
+	if got := empty.Metrics(); got.MemoryBytes != 0 || got.BytesPerRule != 0 {
+		t.Errorf("empty metrics %+v", got)
+	}
+}
+
+func TestInsertOverlappingPriorities(t *testing.T) {
+	// Two rules in the same tuple and hash bucket: the higher-priority one
+	// must win.
+	r0 := rule.NewWildcardRule(0)
+	r0.Ranges[rule.DimProto] = rule.Range{Lo: 6, Hi: 6}
+	r1 := rule.NewWildcardRule(1)
+	r1.Ranges[rule.DimProto] = rule.Range{Lo: 6, Hi: 6}
+	r1.Ranges[rule.DimSrcPort] = rule.Range{Lo: 0, Hi: 1023}
+	set := rule.NewSet([]rule.Rule{r1, r0, rule.NewWildcardRule(2)})
+	c, err := Build(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rule.Packet{SrcPort: 100, Proto: 6}
+	got, ok := c.Classify(p)
+	if !ok || got.Priority != 0 {
+		t.Fatalf("got %v/%v, want priority 0", got.Priority, ok)
+	}
+}
+
+func TestExpansionLimit(t *testing.T) {
+	// A rule whose every port dimension needs a large prefix decomposition
+	// can exceed the expansion cap and must be rejected cleanly.
+	r := rule.NewWildcardRule(0)
+	r.Ranges[rule.DimSrcPort] = rule.Range{Lo: 1, Hi: 65534}
+	r.Ranges[rule.DimDstPort] = rule.Range{Lo: 1, Hi: 65534}
+	r.Ranges[rule.DimSrcIP] = rule.Range{Lo: 1, Hi: 1<<32 - 2}
+	c := &Classifier{byKey: map[tupleKey]*tuple{}}
+	if err := c.Insert(r); err == nil {
+		t.Error("expected expansion-limit error")
+	}
+	set := rule.NewSet([]rule.Rule{r})
+	if _, err := Build(set); err == nil {
+		t.Error("Build should surface the expansion error")
+	}
+}
+
+func TestPrefixMask(t *testing.T) {
+	if prefixMask(0, 32) != 0 {
+		t.Error("/0 mask should be zero")
+	}
+	if prefixMask(32, 32) != 0xFFFFFFFF {
+		t.Error("/32 mask wrong")
+	}
+	if prefixMask(8, 32) != 0xFF000000 {
+		t.Errorf("/8 mask = %#x", prefixMask(8, 32))
+	}
+	if prefixMask(40, 32) != 0xFFFFFFFF {
+		t.Error("overlong mask should clamp")
+	}
+}
