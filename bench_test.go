@@ -11,6 +11,7 @@
 package neurocuts
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -19,6 +20,7 @@ import (
 	"neurocuts/internal/core"
 	"neurocuts/internal/cutsplit"
 	"neurocuts/internal/efficuts"
+	"neurocuts/internal/engine"
 	"neurocuts/internal/env"
 	"neurocuts/internal/hicuts"
 	"neurocuts/internal/hypercuts"
@@ -323,6 +325,76 @@ func BenchmarkLookupNeuroCuts(b *testing.B) {
 	}
 	best, _ := trainer.BestTree()
 	lookupBench(b, best.Classify, trace)
+}
+
+// ---------------------------------------------------------------------------
+// Engine benchmarks: sharded batch lookup and parallel single-packet lookup
+// through the unified classification engine.
+// ---------------------------------------------------------------------------
+
+// engineBenchSetup builds a HiCuts engine and a packet trace for the engine
+// benchmarks.
+func engineBenchSetup(b *testing.B, shards int) (*engine.Engine, []rule.Packet) {
+	b.Helper()
+	set := benchSet(b, "acl1", 1000)
+	eng, err := engine.NewEngine("hicuts", set, engine.Options{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(set, 8192, 2)
+	keys := make([]rule.Packet, len(trace))
+	for i, e := range trace {
+		keys[i] = e.Key
+	}
+	return eng, keys
+}
+
+// BenchmarkEngineBatch sweeps batch size x shard count. Shards=1 with
+// batch=1 is the single-packet loop baseline; larger batches with more
+// shards show the sharded fan-out winning on multi-core machines (the
+// per-op metric is packets, so lower ns/op is better throughput).
+func BenchmarkEngineBatch(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, batch := range []int{1, 64, 512, 4096} {
+			b.Run(fmt.Sprintf("shards=%d/batch=%d", shards, batch), func(b *testing.B) {
+				eng, keys := engineBenchSetup(b, shards)
+				ps := make([]rule.Packet, batch)
+				for i := range ps {
+					ps[i] = keys[i%len(keys)]
+				}
+				out := make([]engine.Result, batch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					eng.ClassifyBatch(ps, out)
+				}
+				b.StopTimer()
+				// Report per-packet throughput so rows are comparable
+				// across batch sizes.
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/packet")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineParallel measures single-packet lookup under concurrent
+// callers (the serving pattern of classifyd: one goroutine per connection,
+// all reading the same atomic snapshot).
+func BenchmarkEngineParallel(b *testing.B) {
+	eng, keys := engineBenchSetup(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, ok := eng.Classify(keys[i%len(keys)]); !ok {
+				// b.Fatal is not allowed off the benchmark goroutine.
+				b.Error("lookup missed")
+				return
+			}
+			i++
+		}
+	})
 }
 
 // BenchmarkPolicyInference measures one forward pass of the NeuroCuts policy

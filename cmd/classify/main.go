@@ -1,13 +1,17 @@
-// Command classify builds a decision tree (or multi-tree classifier) with a
-// chosen algorithm and classifies a header trace with it, reporting
-// correctness against linear search, lookup throughput, and the tree's
-// classification-time and memory metrics.
+// Command classify builds any registered classification backend over a rule
+// set and classifies a header trace with it, reporting correctness against
+// linear search, lookup throughput (single-packet and sharded batch), and
+// the backend's cost metrics.
+//
+// Backends are selected by registry name (see internal/engine); -algo list
+// prints them.
 //
 // Example:
 //
 //	genrules -family acl1 -size 1000 -out acl.rules -trace 100000 -traceout acl.trace
 //	classify -rules acl.rules -trace acl.trace -algo hicuts
 //	classify -rules acl.rules -trace acl.trace -algo neurocuts -timesteps 20000
+//	classify -family fw1 -algo tss -batch 512 -shards 8
 package main
 
 import (
@@ -18,21 +22,10 @@ import (
 	"time"
 
 	"neurocuts/internal/classbench"
-	"neurocuts/internal/core"
-	"neurocuts/internal/cutsplit"
-	"neurocuts/internal/efficuts"
-	"neurocuts/internal/env"
-	"neurocuts/internal/hicuts"
-	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/engine"
 	"neurocuts/internal/packet"
 	"neurocuts/internal/rule"
-	"neurocuts/internal/tree"
 )
-
-// classifier is the minimal lookup interface every algorithm provides.
-type classifier interface {
-	Classify(p rule.Packet) (rule.Rule, bool)
-}
 
 func main() {
 	var (
@@ -41,12 +34,19 @@ func main() {
 		size      = flag.Int("size", 1000, "classifier size when generating")
 		tracePath = flag.String("trace", "", "header trace file (optional; a synthetic trace is generated otherwise)")
 		traceN    = flag.Int("tracen", 100000, "synthetic trace length when -trace is not given")
-		algo      = flag.String("algo", "hicuts", "algorithm: hicuts, hypercuts, efficuts, cutsplit, neurocuts, linear")
+		algo      = flag.String("algo", "hicuts", "backend name, or 'list' to print the registry")
 		binth     = flag.Int("binth", 16, "leaf threshold")
 		timesteps = flag.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
+		batch     = flag.Int("batch", 1024, "batch size for the sharded throughput pass (0 disables)")
+		shards    = flag.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 1, "random seed")
 	)
 	flag.Parse()
+
+	if strings.ToLower(*algo) == "list" {
+		fmt.Println("registered backends:", strings.Join(engine.Backends(), ", "))
+		return
+	}
 
 	set, err := loadClassifier(*rulesPath, *family, *size, *seed)
 	if err != nil {
@@ -57,29 +57,30 @@ func main() {
 		fatal(err)
 	}
 
+	opts := engine.Options{Binth: *binth, Timesteps: *timesteps, Seed: *seed, Shards: *shards}
 	start := time.Now()
-	cls, metrics, err := build(strings.ToLower(*algo), set, *binth, *timesteps, *seed)
+	eng, err := engine.NewEngine(strings.ToLower(*algo), set, opts)
 	if err != nil {
 		fatal(err)
 	}
 	buildTime := time.Since(start)
-	fmt.Printf("built %s over %d rules in %s\n", *algo, set.Len(), buildTime.Round(time.Millisecond))
-	if metrics != nil {
-		fmt.Printf("  classification time (worst-case node visits): %d\n", metrics.ClassificationTime)
-		fmt.Printf("  memory: %d bytes (%.1f bytes/rule), %d nodes, depth %d\n",
-			metrics.MemoryBytes, metrics.BytesPerRule, metrics.Nodes, metrics.MaxDepth)
-	}
+	m := eng.Metrics()
+	fmt.Printf("built %s over %d rules in %s\n", engine.DisplayName(eng.Backend()), set.Len(), buildTime.Round(time.Millisecond))
+	fmt.Printf("  lookup cost (worst-case sequential steps): %d\n", m.LookupCost)
+	fmt.Printf("  memory: %d bytes (%.1f bytes/rule), %d stored entries\n", m.MemoryBytes, m.BytesPerRule, m.Entries)
 
-	// Classify the trace, checking each result against the ground truth (or
+	// Single-packet pass, checking each result against the ground truth (or
 	// against linear search when the trace has no ground truth).
 	mismatches := 0
+	wants := make([]int, len(trace))
 	start = time.Now()
-	for _, e := range trace {
-		got, ok := cls.Classify(e.Key)
+	for i, e := range trace {
+		got, ok := eng.Classify(e.Key)
 		want := e.MatchRule
 		if want < 0 {
 			want = set.MatchIndex(e.Key)
 		}
+		wants[i] = want
 		if (want < 0) != !ok {
 			mismatches++
 			continue
@@ -90,7 +91,34 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	rate := float64(len(trace)) / elapsed.Seconds()
-	fmt.Printf("classified %d packets in %s (%.0f packets/sec)\n", len(trace), elapsed.Round(time.Millisecond), rate)
+	fmt.Printf("classified %d packets in %s (%.0f packets/sec, single)\n", len(trace), elapsed.Round(time.Millisecond), rate)
+
+	// Sharded batch pass over the same trace.
+	if *batch > 0 {
+		keys := make([]rule.Packet, len(trace))
+		for i, e := range trace {
+			keys[i] = e.Key
+		}
+		out := make([]engine.Result, len(trace))
+		start = time.Now()
+		for lo := 0; lo < len(keys); lo += *batch {
+			hi := lo + *batch
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			eng.ClassifyBatch(keys[lo:hi], out[lo:hi])
+		}
+		batchElapsed := time.Since(start)
+		batchRate := float64(len(trace)) / batchElapsed.Seconds()
+		fmt.Printf("classified %d packets in %s (%.0f packets/sec, batch=%d shards=%d, %.2fx)\n",
+			len(trace), batchElapsed.Round(time.Millisecond), batchRate, *batch, *shards, batchRate/rate)
+		for i, want := range wants {
+			if (want < 0) != !out[i].OK || (out[i].OK && out[i].Rule.Priority != want) {
+				mismatches++
+			}
+		}
+	}
+
 	if mismatches > 0 {
 		fmt.Printf("MISMATCHES: %d packets classified differently from linear search\n", mismatches)
 		os.Exit(1)
@@ -127,77 +155,6 @@ func loadTrace(path string, set *rule.Set, n int, seed int64) ([]packet.TraceEnt
 		return packet.ReadTrace(f)
 	}
 	return classbench.GenerateTrace(set, n, seed+7), nil
-}
-
-// linearClassifier adapts rule.Set to the classifier interface.
-type linearClassifier struct{ set *rule.Set }
-
-func (l linearClassifier) Classify(p rule.Packet) (rule.Rule, bool) { return l.set.Match(p) }
-
-func build(algo string, set *rule.Set, binth, timesteps int, seed int64) (classifier, *tree.Metrics, error) {
-	switch algo {
-	case "linear":
-		return linearClassifier{set}, nil, nil
-	case "hicuts":
-		cfg := hicuts.DefaultConfig()
-		cfg.Binth = binth
-		t, err := hicuts.Build(set, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		m := t.ComputeMetrics()
-		return t, &m, nil
-	case "hypercuts":
-		cfg := hypercuts.DefaultConfig()
-		cfg.Binth = binth
-		t, err := hypercuts.Build(set, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		m := t.ComputeMetrics()
-		return t, &m, nil
-	case "efficuts":
-		cfg := efficuts.DefaultConfig()
-		cfg.Binth = binth
-		c, err := efficuts.Build(set, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		m := c.Metrics()
-		return c, &m, nil
-	case "cutsplit":
-		cfg := cutsplit.DefaultConfig()
-		cfg.Binth = binth
-		c, err := cutsplit.Build(set, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		m := c.Metrics()
-		return c, &m, nil
-	case "neurocuts":
-		cfg := core.Scaled(1000)
-		cfg.Binth = binth
-		cfg.MaxTimesteps = timesteps
-		cfg.BatchTimesteps = max(256, timesteps/10)
-		cfg.Seed = seed
-		cfg.Partition = env.PartitionNone
-		trainer := core.NewTrainer(set, cfg)
-		if _, err := trainer.Train(); err != nil {
-			return nil, nil, err
-		}
-		best, _ := trainer.BestTree()
-		m := best.ComputeMetrics()
-		return best, &m, nil
-	default:
-		return nil, nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 func fatal(err error) {

@@ -1,5 +1,8 @@
 // Command classifyd serves a packet classifier over TCP using the line
-// protocol of internal/server, or queries a running server.
+// protocol of internal/server, or queries a running server. The served
+// classifier is an engine.Engine, so any registered backend is available by
+// name, batch requests are sharded across workers, and rules can be added
+// and removed live (RCU snapshot swaps — readers are never blocked).
 //
 // Serve a HiCuts tree built from a generated firewall classifier:
 //
@@ -8,6 +11,11 @@
 // Query it (IPs may be dotted quads or decimal):
 //
 //	classifyd -query 127.0.0.1:9099 -packet "10.0.0.1 192.168.1.1 1234 80 6"
+//
+// Update it live (ClassBench rule format; pos 0 = top priority):
+//
+//	classifyd -query 127.0.0.1:9099 -add "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF" -pos 0
+//	classifyd -query 127.0.0.1:9099 -del 17
 package main
 
 import (
@@ -21,11 +29,7 @@ import (
 	"time"
 
 	"neurocuts/internal/classbench"
-	"neurocuts/internal/core"
-	"neurocuts/internal/cutsplit"
-	"neurocuts/internal/efficuts"
-	"neurocuts/internal/hicuts"
-	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/server"
 )
@@ -36,16 +40,26 @@ func main() {
 		family    = flag.String("family", "acl1", "ClassBench family to generate when -rules is not given")
 		size      = flag.Int("size", 1000, "classifier size when generating")
 		seed      = flag.Int64("seed", 1, "random seed")
-		algo      = flag.String("algo", "hicuts", "algorithm: hicuts, hypercuts, efficuts, cutsplit, neurocuts, linear")
+		algo      = flag.String("algo", "hicuts", "backend name (see internal/engine), or 'list'")
 		timesteps = flag.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
+		binth     = flag.Int("binth", 16, "leaf threshold for tree backends")
+		shards    = flag.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
 		listen    = flag.String("listen", "127.0.0.1:9099", "address to serve on")
 		query     = flag.String("query", "", "query a running server at this address instead of serving")
 		packetStr = flag.String("packet", "", "packet to query: \"src dst sport dport proto\"")
+		addRule   = flag.String("add", "", "ClassBench rule line to insert live (with -query)")
+		pos       = flag.Int("pos", 0, "priority position for -add (0 = top)")
+		delID     = flag.Int("del", -1, "rule ID to delete live (with -query)")
 	)
 	flag.Parse()
 
+	if strings.ToLower(*algo) == "list" {
+		fmt.Println("registered backends:", strings.Join(engine.Backends(), ", "))
+		return
+	}
+
 	if *query != "" {
-		if err := runQuery(*query, *packetStr); err != nil {
+		if err := runQuery(*query, *packetStr, *addRule, *pos, *delID); err != nil {
 			fatal(err)
 		}
 		return
@@ -55,17 +69,23 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	cls, err := buildClassifier(strings.ToLower(*algo), set, *timesteps, *seed)
+	eng, err := engine.NewEngine(strings.ToLower(*algo), set, engine.Options{
+		Binth:     *binth,
+		Timesteps: *timesteps,
+		Seed:      *seed,
+		Shards:    *shards,
+	})
 	if err != nil {
 		fatal(err)
 	}
 
-	srv := server.New(cls)
+	srv := server.New(eng)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("classifyd: serving %s classifier (%d rules, %s) on %s\n", *algo, set.Len(), *family, addr)
+	fmt.Printf("classifyd: serving %s engine (%d rules, %s) on %s\n",
+		engine.DisplayName(eng.Backend()), set.Len(), *family, addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -75,17 +95,11 @@ func main() {
 		fatal(err)
 	}
 	st := srv.Stats()
-	fmt.Printf("classifyd: served %d requests (%d matches, %d parse failures)\n", st.Requests, st.Matches, st.ParseFails)
+	fmt.Printf("classifyd: served %d requests (%d matches, %d parse failures), final rule-set version %d\n",
+		st.Requests, st.Matches, st.ParseFails, eng.Version())
 }
 
-func runQuery(addr, packetStr string) error {
-	if packetStr == "" {
-		return fmt.Errorf("-packet is required with -query")
-	}
-	key, err := server.ParseRequest(packetStr)
-	if err != nil {
-		return err
-	}
+func runQuery(addr, packetStr, addRule string, pos, delID int) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	client, err := server.Dial(ctx, addr)
@@ -93,16 +107,40 @@ func runQuery(addr, packetStr string) error {
 		return err
 	}
 	defer client.Close()
-	id, priority, ok, err := client.Classify(key)
-	if err != nil {
-		return err
-	}
-	if !ok {
-		fmt.Println("no-match")
+
+	switch {
+	case addRule != "":
+		id, version, err := client.AddRule(pos, addRule)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added rule id=%d at position %d (version %d)\n", id, pos, version)
 		return nil
+	case delID >= 0:
+		version, err := client.DeleteRule(delID)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("deleted rule id=%d (version %d)\n", delID, version)
+		return nil
+	case packetStr != "":
+		key, err := server.ParseRequest(packetStr)
+		if err != nil {
+			return err
+		}
+		id, priority, ok, err := client.Classify(key)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			fmt.Println("no-match")
+			return nil
+		}
+		fmt.Printf("match rule id=%d priority=%d\n", id, priority)
+		return nil
+	default:
+		return fmt.Errorf("-query needs one of -packet, -add or -del")
 	}
-	fmt.Printf("match rule id=%d priority=%d\n", id, priority)
-	return nil
 }
 
 func loadClassifier(path, family string, size int, seed int64) (*rule.Set, error) {
@@ -119,39 +157,6 @@ func loadClassifier(path, family string, size int, seed int64) (*rule.Set, error
 		return nil, err
 	}
 	return classbench.Generate(fam, size, seed), nil
-}
-
-// linear adapts rule.Set to the server's Classifier interface.
-type linear struct{ set *rule.Set }
-
-func (l linear) Classify(p rule.Packet) (rule.Rule, bool) { return l.set.Match(p) }
-
-func buildClassifier(algo string, set *rule.Set, timesteps int, seed int64) (server.Classifier, error) {
-	switch algo {
-	case "linear":
-		return linear{set}, nil
-	case "hicuts":
-		return hicuts.Build(set, hicuts.DefaultConfig())
-	case "hypercuts":
-		return hypercuts.Build(set, hypercuts.DefaultConfig())
-	case "efficuts":
-		return efficuts.Build(set, efficuts.DefaultConfig())
-	case "cutsplit":
-		return cutsplit.Build(set, cutsplit.DefaultConfig())
-	case "neurocuts":
-		cfg := core.Scaled(1000)
-		cfg.MaxTimesteps = timesteps
-		cfg.BatchTimesteps = timesteps / 10
-		cfg.Seed = seed
-		trainer := core.NewTrainer(set, cfg)
-		if _, err := trainer.Train(); err != nil {
-			return nil, err
-		}
-		best, _ := trainer.BestTree()
-		return best, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
 }
 
 func fatal(err error) {

@@ -1,0 +1,3 @@
+module neurocuts
+
+go 1.24

@@ -6,14 +6,9 @@ import (
 	"text/tabwriter"
 
 	"neurocuts/internal/core"
-	"neurocuts/internal/cutsplit"
-	"neurocuts/internal/efficuts"
+	"neurocuts/internal/engine"
 	"neurocuts/internal/env"
-	"neurocuts/internal/hicuts"
-	"neurocuts/internal/hypercuts"
 	"neurocuts/internal/rule"
-	"neurocuts/internal/tcam"
-	"neurocuts/internal/tss"
 )
 
 // This file holds the ablation studies that go beyond the paper's figures:
@@ -54,9 +49,18 @@ type ApproachAblationResult struct {
 	Rows []ApproachRow
 }
 
-// ApproachAblation runs the tree algorithms, TSS and TCAM over the scenarios.
+// ablationBackends is the default approach set, by engine registry name.
+var ablationBackends = []string{"hicuts", "hypercuts", "efficuts", "cutsplit", "tss", "tcam"}
+
+// ApproachAblation runs every selected backend over the scenarios through
+// the engine registry. opts.Backends restricts the set; the default covers
+// the four tree algorithms, TSS and TCAM.
 func ApproachAblation(scenarios []Scenario, opts Options) (ApproachAblationResult, error) {
 	opts = opts.withDefaults()
+	backends := opts.Backends
+	if len(backends) == 0 {
+		backends = ablationBackends
+	}
 	var out ApproachAblationResult
 	for _, sc := range scenarios {
 		set, err := sc.Generate()
@@ -64,57 +68,14 @@ func ApproachAblation(scenarios []Scenario, opts Options) (ApproachAblationResul
 			return out, err
 		}
 		row := ApproachRow{Scenario: sc}
-
-		hcfg := hicuts.DefaultConfig()
-		hcfg.Binth = opts.Binth
-		hi, err := hicuts.Build(set, hcfg)
-		if err != nil {
-			return out, fmt.Errorf("%s: HiCuts: %w", sc.Name(), err)
+		for _, name := range backends {
+			cls, err := engine.NewWithOptions(name, set, engine.Options{Binth: opts.Binth})
+			if err != nil {
+				return out, fmt.Errorf("%s: %s: %w", sc.Name(), engine.DisplayName(name), err)
+			}
+			m := cls.Metrics()
+			row.Results = append(row.Results, ApproachResult{engine.DisplayName(name), m.LookupCost, m.MemoryBytes, m.Entries})
 		}
-		hm := hi.ComputeMetrics()
-		row.Results = append(row.Results, ApproachResult{"HiCuts", hm.ClassificationTime, hm.MemoryBytes, hm.RuleRefs})
-
-		ycfg := hypercuts.DefaultConfig()
-		ycfg.Binth = opts.Binth
-		hy, err := hypercuts.Build(set, ycfg)
-		if err != nil {
-			return out, fmt.Errorf("%s: HyperCuts: %w", sc.Name(), err)
-		}
-		ym := hy.ComputeMetrics()
-		row.Results = append(row.Results, ApproachResult{"HyperCuts", ym.ClassificationTime, ym.MemoryBytes, ym.RuleRefs})
-
-		ecfg := efficuts.DefaultConfig()
-		ecfg.Binth = opts.Binth
-		ef, err := efficuts.Build(set, ecfg)
-		if err != nil {
-			return out, fmt.Errorf("%s: EffiCuts: %w", sc.Name(), err)
-		}
-		em := ef.Metrics()
-		row.Results = append(row.Results, ApproachResult{"EffiCuts", em.ClassificationTime, em.MemoryBytes, em.RuleRefs})
-
-		ccfg := cutsplit.DefaultConfig()
-		ccfg.Binth = opts.Binth
-		cs, err := cutsplit.Build(set, ccfg)
-		if err != nil {
-			return out, fmt.Errorf("%s: CutSplit: %w", sc.Name(), err)
-		}
-		cm := cs.Metrics()
-		row.Results = append(row.Results, ApproachResult{"CutSplit", cm.ClassificationTime, cm.MemoryBytes, cm.RuleRefs})
-
-		ts, err := tss.Build(set)
-		if err != nil {
-			return out, fmt.Errorf("%s: TSS: %w", sc.Name(), err)
-		}
-		tm := ts.Metrics()
-		row.Results = append(row.Results, ApproachResult{"TSS", tm.Tuples, tm.MemoryBytes, tm.Entries})
-
-		tc, err := tcam.Build(set, 0)
-		if err != nil {
-			return out, fmt.Errorf("%s: TCAM: %w", sc.Name(), err)
-		}
-		tcm := tc.Metrics()
-		row.Results = append(row.Results, ApproachResult{"TCAM", tcm.LookupTime, tcm.Bits / 8, tcm.Entries})
-
 		out.Rows = append(out.Rows, row)
 	}
 	return out, nil

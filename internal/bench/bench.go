@@ -16,11 +16,8 @@ import (
 	"neurocuts/internal/analysis"
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/core"
-	"neurocuts/internal/cutsplit"
-	"neurocuts/internal/efficuts"
+	"neurocuts/internal/engine"
 	"neurocuts/internal/env"
-	"neurocuts/internal/hicuts"
-	"neurocuts/internal/hypercuts"
 	"neurocuts/internal/packet"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/tree"
@@ -83,6 +80,9 @@ type Options struct {
 	Workers int
 	// Binth is the leaf threshold shared by all algorithms.
 	Binth int
+	// Backends restricts ApproachAblation to a subset of engine registry
+	// names; empty selects the full default set.
+	Backends []string
 }
 
 // QuickOptions returns a configuration that finishes in seconds per
@@ -173,45 +173,22 @@ const (
 	NameNeuroCutsEffi  = "NeuroCuts(EffiCuts)"
 )
 
-// runBaselines executes the four hand-tuned algorithms on the classifier.
+// baselineBackends are the hand-tuned tree algorithms the paper compares
+// NeuroCuts against, by engine registry name.
+var baselineBackends = []string{"hicuts", "hypercuts", "efficuts", "cutsplit"}
+
+// runBaselines executes the four hand-tuned algorithms on the classifier
+// through the engine registry.
 func runBaselines(set *rule.Set, binth int) ([]AlgorithmResult, error) {
 	var out []AlgorithmResult
-
-	hcfg := hicuts.DefaultConfig()
-	hcfg.Binth = binth
-	hi, err := hicuts.Build(set, hcfg)
-	if err != nil {
-		return nil, fmt.Errorf("bench: HiCuts: %w", err)
+	for _, name := range baselineBackends {
+		cls, err := engine.NewWithOptions(name, set, engine.Options{Binth: binth})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", engine.DisplayName(name), err)
+		}
+		m := cls.Metrics()
+		out = append(out, AlgorithmResult{engine.DisplayName(name), m.LookupCost, m.BytesPerRule, m.MemoryBytes})
 	}
-	m := hi.ComputeMetrics()
-	out = append(out, AlgorithmResult{NameHiCuts, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
-
-	ycfg := hypercuts.DefaultConfig()
-	ycfg.Binth = binth
-	hy, err := hypercuts.Build(set, ycfg)
-	if err != nil {
-		return nil, fmt.Errorf("bench: HyperCuts: %w", err)
-	}
-	m = hy.ComputeMetrics()
-	out = append(out, AlgorithmResult{NameHyperCuts, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
-
-	ecfg := efficuts.DefaultConfig()
-	ecfg.Binth = binth
-	ef, err := efficuts.Build(set, ecfg)
-	if err != nil {
-		return nil, fmt.Errorf("bench: EffiCuts: %w", err)
-	}
-	m = ef.Metrics()
-	out = append(out, AlgorithmResult{NameEffiCuts, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
-
-	ccfg := cutsplit.DefaultConfig()
-	ccfg.Binth = binth
-	cs, err := cutsplit.Build(set, ccfg)
-	if err != nil {
-		return nil, fmt.Errorf("bench: CutSplit: %w", err)
-	}
-	m = cs.Metrics()
-	out = append(out, AlgorithmResult{NameCutSplit, m.ClassificationTime, m.BytesPerRule, m.MemoryBytes})
 	return out, nil
 }
 

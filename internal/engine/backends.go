@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"errors"
+
+	"neurocuts/internal/core"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/efficuts"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/hypercuts"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tcam"
+	"neurocuts/internal/tree"
+	"neurocuts/internal/tss"
+)
+
+// adapter lifts a backend's single-packet lookup and metrics functions into
+// the Classifier interface. ClassifyBatch is a sequential loop here; the
+// Engine layers sharding on top of it.
+type adapter struct {
+	classify func(p rule.Packet) (rule.Rule, bool)
+	metrics  func() Metrics
+}
+
+func (a *adapter) Classify(p rule.Packet) (rule.Rule, bool) { return a.classify(p) }
+
+func (a *adapter) ClassifyBatch(ps []rule.Packet, out []Result) {
+	for i, p := range ps {
+		out[i].Rule, out[i].OK = a.classify(p)
+	}
+}
+
+func (a *adapter) Metrics() Metrics { return a.metrics() }
+
+// treeMetrics converts the shared decision-tree metrics into engine metrics.
+func treeMetrics(backend string, rules int, m tree.Metrics) Metrics {
+	return Metrics{
+		Backend:      backend,
+		Rules:        rules,
+		LookupCost:   m.ClassificationTime,
+		MemoryBytes:  m.MemoryBytes,
+		BytesPerRule: m.BytesPerRule,
+		Entries:      m.RuleRefs,
+	}
+}
+
+// linearRuleBytes models one stored rule for the linear-search backend:
+// five 16-byte ranges plus priority and ID.
+const linearRuleBytes = rule.NumDims*16 + 16
+
+func init() {
+	Register("linear", "Linear", func(set *rule.Set, opts Options) (Classifier, error) {
+		return &adapter{
+			classify: set.Match,
+			metrics: func() Metrics {
+				n := set.Len()
+				return Metrics{
+					Backend:      "linear",
+					Rules:        n,
+					LookupCost:   n,
+					MemoryBytes:  n * linearRuleBytes,
+					BytesPerRule: linearRuleBytes,
+					Entries:      n,
+				}
+			},
+		}, nil
+	})
+
+	Register("hicuts", "HiCuts", func(set *rule.Set, opts Options) (Classifier, error) {
+		cfg := hicuts.DefaultConfig()
+		cfg.Binth = opts.Binth
+		t, err := hicuts.Build(set, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &adapter{
+			classify: t.Classify,
+			metrics:  func() Metrics { return treeMetrics("hicuts", set.Len(), t.ComputeMetrics()) },
+		}, nil
+	})
+
+	Register("hypercuts", "HyperCuts", func(set *rule.Set, opts Options) (Classifier, error) {
+		cfg := hypercuts.DefaultConfig()
+		cfg.Binth = opts.Binth
+		t, err := hypercuts.Build(set, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &adapter{
+			classify: t.Classify,
+			metrics:  func() Metrics { return treeMetrics("hypercuts", set.Len(), t.ComputeMetrics()) },
+		}, nil
+	})
+
+	Register("efficuts", "EffiCuts", func(set *rule.Set, opts Options) (Classifier, error) {
+		cfg := efficuts.DefaultConfig()
+		cfg.Binth = opts.Binth
+		c, err := efficuts.Build(set, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &adapter{
+			classify: c.Classify,
+			metrics:  func() Metrics { return treeMetrics("efficuts", set.Len(), c.Metrics()) },
+		}, nil
+	})
+
+	Register("cutsplit", "CutSplit", func(set *rule.Set, opts Options) (Classifier, error) {
+		cfg := cutsplit.DefaultConfig()
+		cfg.Binth = opts.Binth
+		c, err := cutsplit.Build(set, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &adapter{
+			classify: c.Classify,
+			metrics:  func() Metrics { return treeMetrics("cutsplit", set.Len(), c.Metrics()) },
+		}, nil
+	})
+
+	Register("tss", "TSS", func(set *rule.Set, opts Options) (Classifier, error) {
+		c, err := tss.Build(set)
+		if err != nil {
+			return nil, err
+		}
+		return &adapter{
+			classify: c.Classify,
+			metrics: func() Metrics {
+				m := c.Metrics()
+				return Metrics{
+					Backend:      "tss",
+					Rules:        set.Len(),
+					LookupCost:   m.Tuples,
+					MemoryBytes:  m.MemoryBytes,
+					BytesPerRule: m.BytesPerRule,
+					Entries:      m.Entries,
+				}
+			},
+		}, nil
+	})
+
+	Register("tcam", "TCAM", func(set *rule.Set, opts Options) (Classifier, error) {
+		c, err := tcam.Build(set, opts.TCAMExpandLimit)
+		if err != nil {
+			return nil, err
+		}
+		return &adapter{
+			classify: c.Classify,
+			metrics: func() Metrics {
+				m := c.Metrics()
+				em := Metrics{
+					Backend:     "tcam",
+					Rules:       set.Len(),
+					LookupCost:  m.LookupTime,
+					MemoryBytes: m.Bits / 8,
+					Entries:     m.Entries,
+				}
+				if em.Rules > 0 {
+					em.BytesPerRule = float64(em.MemoryBytes) / float64(em.Rules)
+				}
+				return em
+			},
+		}, nil
+	})
+
+	Register("neurocuts", "NeuroCuts", func(set *rule.Set, opts Options) (Classifier, error) {
+		cfg := core.Scaled(1000)
+		cfg.Binth = opts.Binth
+		cfg.MaxTimesteps = opts.Timesteps
+		cfg.BatchTimesteps = maxInt(256, opts.Timesteps/10)
+		cfg.Workers = opts.Workers
+		cfg.Seed = opts.Seed
+		cfg.Partition = env.PartitionNone
+		trainer := core.NewTrainer(set, cfg)
+		if _, err := trainer.Train(); err != nil {
+			return nil, err
+		}
+		t, _ := trainer.BestTree()
+		if t == nil {
+			return nil, errors.New("engine: neurocuts training produced no tree")
+		}
+		return &adapter{
+			classify: t.Classify,
+			metrics:  func() Metrics { return treeMetrics("neurocuts", set.Len(), t.ComputeMetrics()) },
+		}, nil
+	})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

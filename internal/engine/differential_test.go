@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+// TestDifferentialAllBackends is the cross-backend property test: every
+// registered backend must classify a large random packet sample exactly like
+// reference linear search (same matched-rule priority, same no-match set).
+// Because backends register themselves in the engine registry, any backend
+// added in the future is picked up automatically.
+//
+// The sample mixes rule-directed packets (GenerateTrace samples inside rule
+// boxes, so overlapping-rule tie-breaks are exercised) with uniform packets
+// (which exercise the no-match path). Everything is seeded, so a failure
+// reproduces deterministically.
+func TestDifferentialAllBackends(t *testing.T) {
+	const (
+		seed        = 42
+		rulesPerSet = 250
+		perFamily   = 6000 // 5000 directed + 1000 uniform, x2 families >= 10k packets
+	)
+	scenarios := []string{"acl1", "fw1"}
+
+	type sample struct {
+		set     *rule.Set
+		family  string
+		packets []rule.Packet
+		want    []int // matched rule priority, -1 for no match
+	}
+	var samples []sample
+	total := 0
+	for _, family := range scenarios {
+		fam, err := classbench.FamilyByName(family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := classbench.Generate(fam, rulesPerSet, seed)
+		var packets []rule.Packet
+		for _, e := range classbench.GenerateTrace(set, perFamily-1000, seed+1) {
+			packets = append(packets, e.Key)
+		}
+		for _, e := range classbench.UniformTrace(set, 1000, seed+2) {
+			packets = append(packets, e.Key)
+		}
+		want := make([]int, len(packets))
+		for i, p := range packets {
+			want[i] = set.MatchIndex(p) // == matched rule's priority, or -1
+		}
+		total += len(packets)
+		samples = append(samples, sample{set: set, family: family, packets: packets, want: want})
+	}
+	if total < 10000 {
+		t.Fatalf("sample too small: %d packets", total)
+	}
+
+	// Keep the learned backend affordable in the unit-test budget; every
+	// other backend builds deterministically from the rule set alone.
+	opts := Options{Timesteps: 600, Workers: 2, Seed: seed}
+
+	for _, backend := range Backends() {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			if backend == "neurocuts" && testing.Short() {
+				t.Skip("skipping learned backend in -short mode")
+			}
+			for _, s := range samples {
+				eng, err := NewEngine(backend, s.set, opts)
+				if err != nil {
+					t.Fatalf("%s/%s: build: %v", backend, s.family, err)
+				}
+				// Classify through the sharded batch path so the differential
+				// test also covers the Engine runtime, not just the adapter.
+				out := make([]Result, len(s.packets))
+				eng.ClassifyBatch(s.packets, out)
+				mismatches := 0
+				for i, want := range s.want {
+					got := -1
+					if out[i].OK {
+						got = out[i].Rule.Priority
+					}
+					if got != want {
+						mismatches++
+						if mismatches <= 5 {
+							t.Errorf("%s/%s: packet %d %v: got priority %d, linear search says %d",
+								backend, s.family, i, s.packets[i], got, want)
+						}
+					}
+				}
+				if mismatches > 0 {
+					t.Fatalf("%s/%s: %d/%d packets diverge from linear search",
+						backend, s.family, mismatches, len(s.packets))
+				}
+			}
+		})
+	}
+}

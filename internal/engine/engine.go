@@ -1,0 +1,242 @@
+// Package engine unifies every packet-classification backend in this
+// repository behind one interface and one serving runtime.
+//
+// The repository implements many interchangeable classification data
+// structures — the learned NeuroCuts trees, the hand-tuned HiCuts /
+// HyperCuts / EffiCuts / CutSplit trees, Tuple Space Search, a TCAM model
+// and the linear-search reference. Each historically exposed its own Build
+// and lookup shape. This package gives them a common face:
+//
+//   - Classifier is the uniform lookup interface (Classify, ClassifyBatch,
+//     Metrics). Adapters in backends.go register every algorithm in a
+//     name-keyed registry, so callers select backends by string
+//     ("hicuts", "tss", ...) instead of switching over packages.
+//   - Engine wraps a Classifier with a serving runtime: batch lookups are
+//     sharded across a pool of workers, and rule updates (Insert / Delete)
+//     rebuild the structure off-line and swap it in atomically
+//     (RCU-style, via atomic.Pointer), so readers are never blocked and
+//     every lookup observes one coherent snapshot.
+//
+// Engine itself satisfies Classifier, so anything that serves a backend
+// (internal/server, cmd/classify, the benchmarks) can serve an Engine
+// transparently.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"neurocuts/internal/rule"
+)
+
+// Result is the outcome of classifying one packet in a batch.
+type Result struct {
+	// Rule is the highest-priority matching rule when OK is true.
+	Rule rule.Rule
+	// OK reports whether any rule matched.
+	OK bool
+}
+
+// Metrics is the backend-independent cost summary every classifier reports.
+// Fields that do not apply to a backend are zero (e.g. Entries for linear
+// search equals the rule count, LookupCost for a TCAM is 1).
+type Metrics struct {
+	// Backend is the registry name of the backend ("hicuts", "tss", ...).
+	Backend string
+	// Rules is the classifier size (rules, not expanded entries).
+	Rules int
+	// LookupCost is the worst-case number of sequential steps per lookup:
+	// node visits for trees, tuple probes for TSS, rules scanned for linear
+	// search, 1 for TCAM.
+	LookupCost int
+	// MemoryBytes is the modelled memory footprint.
+	MemoryBytes int
+	// BytesPerRule is MemoryBytes divided by Rules.
+	BytesPerRule float64
+	// Entries is the number of stored elements (tree rule references,
+	// TSS/TCAM entries after range expansion); Entries / Rules is the
+	// replication or expansion factor.
+	Entries int
+}
+
+// Classifier is the uniform interface every backend adapter satisfies.
+type Classifier interface {
+	// Classify returns the highest-priority rule matching p, or ok=false.
+	Classify(p rule.Packet) (rule.Rule, bool)
+	// ClassifyBatch classifies ps[i] into out[i] for every i. out must be
+	// at least as long as ps.
+	ClassifyBatch(ps []rule.Packet, out []Result)
+	// Metrics summarises the backend's cost profile.
+	Metrics() Metrics
+}
+
+// snapshot is one immutable (classifier, rule set) generation. Readers load
+// it once per operation so a concurrent swap can never tear a lookup.
+type snapshot struct {
+	cls     Classifier
+	set     *rule.Set
+	version uint64
+}
+
+// Engine serves a registered backend with sharded batch lookups and
+// non-blocking atomic rule updates.
+type Engine struct {
+	backend backendEntry
+	opts    Options
+
+	// snap is the current read snapshot (RCU-style: writers build a new
+	// snapshot off-line and publish it with a single pointer swap).
+	snap atomic.Pointer[snapshot]
+
+	// mu serialises writers; readers never take it.
+	mu     sync.Mutex
+	nextID int
+
+	shards int
+}
+
+// minShardBatch is the smallest per-shard slice worth a goroutine; batches
+// below 2*minShardBatch run inline on the caller's goroutine.
+const minShardBatch = 64
+
+// NewEngine builds the named backend over the rule set and wraps it in an
+// Engine. Shard count comes from opts.Shards (0 selects GOMAXPROCS).
+func NewEngine(name string, set *rule.Set, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	entry, err := lookupBackend(name)
+	if err != nil {
+		return nil, err
+	}
+	cls, err := entry.build(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{backend: entry, opts: opts, shards: shards}
+	e.snap.Store(&snapshot{cls: cls, set: set, version: 1})
+	for _, r := range set.Rules() {
+		if r.ID >= e.nextID {
+			e.nextID = r.ID + 1
+		}
+	}
+	return e, nil
+}
+
+// Backend returns the engine's registry backend name.
+func (e *Engine) Backend() string { return e.backend.name }
+
+// Version returns the current snapshot's generation counter; it increases by
+// one per successful Insert or Delete.
+func (e *Engine) Version() uint64 { return e.snap.Load().version }
+
+// Rules returns the current snapshot's rule set. The returned set is
+// immutable: updates replace it rather than mutating it.
+func (e *Engine) Rules() *rule.Set { return e.snap.Load().set }
+
+// Classify looks up one packet in the current snapshot.
+func (e *Engine) Classify(p rule.Packet) (rule.Rule, bool) {
+	return e.snap.Load().cls.Classify(p)
+}
+
+// Metrics reports the current snapshot's metrics.
+func (e *Engine) Metrics() Metrics { return e.snap.Load().cls.Metrics() }
+
+// ClassifyBatch classifies every packet of the batch against one coherent
+// snapshot, splitting the batch across the engine's worker shards. Small
+// batches run inline: fanning out costs more than it saves below roughly a
+// hundred packets.
+func (e *Engine) ClassifyBatch(ps []rule.Packet, out []Result) {
+	cls := e.snap.Load().cls
+	n := len(ps)
+	if e.shards <= 1 || n < 2*minShardBatch {
+		cls.ClassifyBatch(ps, out)
+		return
+	}
+	shards := e.shards
+	if max := (n + minShardBatch - 1) / minShardBatch; shards > max {
+		shards = max
+	}
+	chunk := (n + shards - 1) / shards
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			cls.ClassifyBatch(ps[lo:hi], out[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// UpdateResult describes the snapshot published by one successful update.
+// All three fields come from the same snapshot, so a caller can report a
+// consistent (version, rule count) pair even under concurrent writers.
+type UpdateResult struct {
+	// ID is the rule affected: the ID assigned on Insert, the ID removed
+	// on Delete.
+	ID int
+	// Version is the published snapshot's generation counter.
+	Version uint64
+	// Rules is the published snapshot's rule count.
+	Rules int
+}
+
+// Insert adds a rule at priority position pos (clamped to the list bounds),
+// rebuilds the backend off-line and atomically swaps the new snapshot in.
+// Concurrent readers keep classifying against the old snapshot until the
+// swap.
+func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	next := cur.set.Clone()
+	r.ID = e.nextID
+	next.Insert(pos, r)
+	cls, err := e.backend.build(next, e.opts)
+	if err != nil {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: rebuild after insert: %w", err)
+	}
+	e.nextID++
+	ns := &snapshot{cls: cls, set: next, version: cur.version + 1}
+	e.snap.Store(ns)
+	return UpdateResult{ID: r.ID, Version: ns.version, Rules: next.Len()}, nil
+}
+
+// Delete removes the rule with the given ID, rebuilds off-line and swaps the
+// new snapshot in.
+func (e *Engine) Delete(id int) (UpdateResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	idx := -1
+	for i, r := range cur.set.Rules() {
+		if r.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: no rule with id %d", id)
+	}
+	next := cur.set.Clone()
+	next.Remove(idx)
+	cls, err := e.backend.build(next, e.opts)
+	if err != nil {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: rebuild after delete: %w", err)
+	}
+	ns := &snapshot{cls: cls, set: next, version: cur.version + 1}
+	e.snap.Store(ns)
+	return UpdateResult{ID: id, Version: ns.version, Rules: next.Len()}, nil
+}

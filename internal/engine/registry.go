@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"neurocuts/internal/tree"
+
+	"neurocuts/internal/rule"
+)
+
+// Options carries the build parameters shared across backends. The zero
+// value selects sensible defaults for every field.
+type Options struct {
+	// Binth is the leaf threshold for the tree-based backends
+	// (0 selects tree.DefaultBinth).
+	Binth int
+	// Timesteps is the NeuroCuts training budget (0 selects 5000).
+	Timesteps int
+	// Workers is the NeuroCuts rollout worker count (0 selects 2).
+	Workers int
+	// Seed seeds stochastic backends (0 selects 1).
+	Seed int64
+	// TCAMExpandLimit bounds per-rule range expansion for the TCAM backend
+	// (0 selects the tcam package default of 1024).
+	TCAMExpandLimit int
+	// Shards is the Engine's batch-lookup shard count (0 selects
+	// GOMAXPROCS). It does not affect the underlying data structure.
+	Shards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Binth <= 0 {
+		o.Binth = tree.DefaultBinth
+	}
+	if o.Timesteps <= 0 {
+		o.Timesteps = 5000
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Builder constructs a backend's classifier over a rule set.
+type Builder func(set *rule.Set, opts Options) (Classifier, error)
+
+// backendEntry is one registered backend.
+type backendEntry struct {
+	name    string
+	display string
+	build   Builder
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]backendEntry{}
+)
+
+// Register adds a backend to the registry under a lower-case name with a
+// human-facing display name. It panics on duplicate registration, matching
+// the behaviour of database/sql.Register.
+func Register(name, display string, build Builder) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("engine: backend %q registered twice", key))
+	}
+	registry[key] = backendEntry{name: key, display: display, build: build}
+}
+
+func lookupBackend(name string) (backendEntry, error) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	entry, ok := registry[strings.ToLower(name)]
+	if !ok {
+		// Inline the name list: calling Backends() here would re-enter the
+		// read lock, which deadlocks if a writer is queued between the two.
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return backendEntry{}, fmt.Errorf("engine: unknown backend %q (have: %s)",
+			name, strings.Join(names, ", "))
+	}
+	return entry, nil
+}
+
+// Backends returns the registered backend names, sorted.
+func Backends() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DisplayName returns the backend's human-facing name ("hicuts" ->
+// "HiCuts"), or the input unchanged when the name is not registered.
+func DisplayName(name string) string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	if entry, ok := registry[strings.ToLower(name)]; ok {
+		return entry.display
+	}
+	return name
+}
+
+// New builds the named backend over the rule set with default options and
+// returns its Classifier. Use NewEngine for sharded batching and updates,
+// or NewWithOptions to tune build parameters.
+func New(name string, set *rule.Set) (Classifier, error) {
+	return NewWithOptions(name, set, Options{})
+}
+
+// NewWithOptions builds the named backend with explicit options.
+func NewWithOptions(name string, set *rule.Set, opts Options) (Classifier, error) {
+	entry, err := lookupBackend(name)
+	if err != nil {
+		return nil, err
+	}
+	return entry.build(set, opts.withDefaults())
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzParseRequest asserts that no wire line, however malformed, can panic
+// the request parser — a hostile client must get an "error" response, not
+// crash the server. Successful parses are round-tripped through the decimal
+// request encoding to pin down the field order.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		"10.0.0.1 192.168.1.1 1234 80 6",
+		"167772161 3232235777 53 53 17",
+		"0.0.0.0 255.255.255.255 0 65535 255",
+		"", " ", "stats", "quit", "batch 3",
+		"1 2 3 4", "1 2 3 4 5 6",
+		"x y z w v",
+		"300.0.0.1 1.2.3.4 1 2 3",
+		"-1 2 3 4 5",
+		"1 2 99999 4 5",
+		"1.2.3.4.5 6.7.8.9 1 2 3",
+		"\x00\xff 1 2 3 4",
+		"4294967296 1 2 3 4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		p, err := ParseRequest(line)
+		if err != nil {
+			return
+		}
+		if got := len(strings.Fields(line)); got != 5 {
+			t.Errorf("ParseRequest(%q) succeeded with %d fields", line, got)
+		}
+		decimal := fmt.Sprintf("%d %d %d %d %d", p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto)
+		again, err := ParseRequest(decimal)
+		if err != nil || again != p {
+			t.Errorf("round trip of %q via %q: got %+v err %v, want %+v", line, decimal, again, err, p)
+		}
+	})
+}

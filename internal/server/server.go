@@ -8,9 +8,21 @@
 //	          "no-match\n"                            or
 //	          "error <message>\n"
 //
+// Batch lookups amortise round trips: "batch <n>\n" followed by n packet
+// lines returns exactly n response lines in order. When the classifier is an
+// engine.Engine (or anything implementing BatchClassifier) the whole batch
+// is classified against one coherent snapshot with sharded lookup.
+//
+// Live rule updates are available when the classifier implements Updater
+// (engine.Engine does):
+//
+//	"add <pos> @<classbench rule line>\n" -> "ok id=<id> version=<v> rules=<n>\n"
+//	"del <ruleID>\n"                      -> "ok version=<v> rules=<n>\n"
+//
 // The special request "stats\n" returns one line of server statistics and
 // "quit\n" closes the connection. One goroutine serves each connection; the
-// classifier lookup itself is read-only and shared.
+// classifier lookup itself is read-only and shared, and updates swap in new
+// snapshots without blocking in-flight lookups.
 package server
 
 import (
@@ -24,14 +36,34 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 )
 
-// Classifier is the lookup interface the server exposes; decision trees,
-// multi-tree classifiers and the linear-search reference all satisfy it.
+// Classifier is the minimal lookup interface the server exposes; decision
+// trees, multi-tree classifiers, the linear-search reference and
+// engine.Engine all satisfy it.
 type Classifier interface {
 	Classify(p rule.Packet) (rule.Rule, bool)
 }
+
+// BatchClassifier is the optional batch interface. When the served
+// classifier implements it (engine.Engine does), "batch" requests are
+// classified in one sharded call against a single snapshot instead of one
+// lookup per line.
+type BatchClassifier interface {
+	ClassifyBatch(ps []rule.Packet, out []engine.Result)
+}
+
+// Updater is the optional live-update interface behind the "add" and "del"
+// requests. engine.Engine implements it with RCU snapshot swaps.
+type Updater interface {
+	Insert(pos int, r rule.Rule) (engine.UpdateResult, error)
+	Delete(id int) (engine.UpdateResult, error)
+}
+
+// MaxBatch bounds the packet count of one "batch" request.
+const MaxBatch = 65536
 
 // Server serves classification requests over TCP.
 type Server struct {
@@ -143,6 +175,24 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		if n, ok := parseBatchHeader(line); ok {
+			if !s.handleBatch(scanner, w, n) {
+				return
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "add "); ok {
+			if !writeLine(w, s.respondAdd(rest)) {
+				return
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "del "); ok {
+			if !writeLine(w, s.respondDel(rest)) {
+				return
+			}
+			continue
+		}
 		resp := s.respond(line)
 		if _, err := w.WriteString(resp + "\n"); err != nil {
 			return
@@ -151,6 +201,125 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// writeLine writes one response line, reporting whether the connection is
+// still usable.
+func writeLine(w *bufio.Writer, resp string) bool {
+	if _, err := w.WriteString(resp + "\n"); err != nil {
+		return false
+	}
+	return w.Flush() == nil
+}
+
+// parseBatchHeader recognises "batch <n>" requests.
+func parseBatchHeader(line string) (int, bool) {
+	rest, ok := strings.CutPrefix(line, "batch ")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// handleBatch reads n packet lines and answers each in order. It reports
+// whether the connection is still usable. Lines that fail to parse yield
+// "error ..." responses in their slot; the rest of the batch still runs.
+func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, n int) bool {
+	if n <= 0 || n > MaxBatch {
+		return writeLine(w, fmt.Sprintf("error batch size must be in [1, %d]", MaxBatch))
+	}
+	packets := make([]rule.Packet, n)
+	parseErrs := make([]error, n)
+	for i := 0; i < n; i++ {
+		if !scanner.Scan() {
+			return false // connection dropped mid-batch
+		}
+		s.requests.Add(1)
+		p, err := ParseRequest(strings.TrimSpace(scanner.Text()))
+		if err != nil {
+			s.parseFails.Add(1)
+			parseErrs[i] = err
+			continue
+		}
+		packets[i] = p
+	}
+	out := make([]engine.Result, n)
+	if bc, ok := s.classifier.(BatchClassifier); ok {
+		bc.ClassifyBatch(packets, out)
+	} else {
+		for i, p := range packets {
+			out[i].Rule, out[i].OK = s.classifier.Classify(p)
+		}
+	}
+	for i := 0; i < n; i++ {
+		var resp string
+		switch {
+		case parseErrs[i] != nil:
+			resp = "error " + parseErrs[i].Error()
+		case !out[i].OK:
+			resp = "no-match"
+		default:
+			s.matches.Add(1)
+			resp = fmt.Sprintf("match %d priority %d", out[i].Rule.ID, out[i].Rule.Priority)
+		}
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return false
+		}
+	}
+	return w.Flush() == nil
+}
+
+// respondAdd handles "add <pos> @<rule>": parse the ClassBench rule line and
+// insert it at priority position pos through the Updater interface.
+func (s *Server) respondAdd(rest string) string {
+	s.requests.Add(1)
+	up, ok := s.classifier.(Updater)
+	if !ok {
+		return "error classifier does not support live updates"
+	}
+	posStr, ruleStr, found := strings.Cut(strings.TrimSpace(rest), " ")
+	if !found {
+		s.parseFails.Add(1)
+		return "error expected: add <pos> @<rule>"
+	}
+	pos, err := strconv.Atoi(posStr)
+	if err != nil {
+		s.parseFails.Add(1)
+		return "error position: " + err.Error()
+	}
+	r, err := rule.ParseClassBenchLine(strings.TrimSpace(ruleStr))
+	if err != nil {
+		s.parseFails.Add(1)
+		return "error rule: " + err.Error()
+	}
+	res, err := up.Insert(pos, r)
+	if err != nil {
+		return "error " + err.Error()
+	}
+	return fmt.Sprintf("ok id=%d version=%d rules=%d", res.ID, res.Version, res.Rules)
+}
+
+// respondDel handles "del <ruleID>".
+func (s *Server) respondDel(rest string) string {
+	s.requests.Add(1)
+	up, ok := s.classifier.(Updater)
+	if !ok {
+		return "error classifier does not support live updates"
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(rest))
+	if err != nil {
+		s.parseFails.Add(1)
+		return "error rule id: " + err.Error()
+	}
+	res, err := up.Delete(id)
+	if err != nil {
+		return "error " + err.Error()
+	}
+	return fmt.Sprintf("ok version=%d rules=%d", res.Version, res.Rules)
 }
 
 // respond processes one request line and returns the response line.
@@ -259,4 +428,92 @@ func (c *Client) Classify(p rule.Packet) (id, priority int, ok bool, err error) 
 	default:
 		return 0, 0, false, fmt.Errorf("server: %s", line)
 	}
+}
+
+// ClassifyBatch sends "batch" requests for all packets and returns one
+// Result per packet, in order. Batches larger than MaxBatch are split into
+// multiple requests transparently (the server rejects oversized headers).
+// A per-line server error (e.g. an unparsable packet) surfaces as OK=false
+// for that slot only.
+func (c *Client) ClassifyBatch(ps []rule.Packet) ([]engine.Result, error) {
+	out := make([]engine.Result, 0, len(ps))
+	for lo := 0; lo < len(ps); lo += MaxBatch {
+		hi := lo + MaxBatch
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		chunk, err := c.classifyBatchChunk(ps[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+func (c *Client) classifyBatchChunk(ps []rule.Packet) ([]engine.Result, error) {
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	fmt.Fprintf(c.w, "batch %d\n", len(ps))
+	for _, p := range ps {
+		fmt.Fprintf(c.w, "%d %d %d %d %d\n", p.SrcIP, p.DstIP, p.SrcPort, p.DstPort, p.Proto)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make([]engine.Result, len(ps))
+	for i := range ps {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, err
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "match ") {
+			var id, priority int
+			if _, err := fmt.Sscanf(line, "match %d priority %d", &id, &priority); err != nil {
+				return nil, fmt.Errorf("server: malformed response %q", line)
+			}
+			out[i] = engine.Result{Rule: rule.Rule{ID: id, Priority: priority}, OK: true}
+		}
+	}
+	return out, nil
+}
+
+// AddRule inserts a ClassBench-format rule at priority position pos on the
+// server and returns the assigned rule ID and new snapshot version.
+func (c *Client) AddRule(pos int, classBenchLine string) (id int, version uint64, err error) {
+	fmt.Fprintf(c.w, "add %d %s\n", pos, strings.TrimSpace(classBenchLine))
+	if err := c.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, 0, err
+	}
+	line = strings.TrimSpace(line)
+	var rules int
+	if _, err := fmt.Sscanf(line, "ok id=%d version=%d rules=%d", &id, &version, &rules); err != nil {
+		return 0, 0, fmt.Errorf("server: %s", line)
+	}
+	return id, version, nil
+}
+
+// DeleteRule removes the rule with the given ID on the server and returns
+// the new snapshot version.
+func (c *Client) DeleteRule(id int) (version uint64, err error) {
+	fmt.Fprintf(c.w, "del %d\n", id)
+	if err := c.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, err
+	}
+	line = strings.TrimSpace(line)
+	var rules int
+	if _, err := fmt.Sscanf(line, "ok version=%d rules=%d", &version, &rules); err != nil {
+		return 0, fmt.Errorf("server: %s", line)
+	}
+	return version, nil
 }
