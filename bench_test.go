@@ -377,6 +377,48 @@ func BenchmarkEngineBatch(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineFlowCache measures the sharded flow cache on Zipf-skewed
+// traffic against the uncached engine on the same trace. The skewed rows
+// should show the cache collapsing lookup cost toward a hash + array read;
+// the uniform rows show its overhead when traffic has no locality.
+func BenchmarkEngineFlowCache(b *testing.B) {
+	set := benchSet(b, "acl1", 1000)
+	for _, tc := range []struct {
+		name   string
+		cache  int
+		skewed bool
+	}{
+		{"zipf/uncached", 0, true},
+		{"zipf/cached", 4096, true},
+		{"uniform/uncached", 0, false},
+		{"uniform/cached", 4096, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			eng, err := engine.NewEngine("hicuts", set,
+				engine.Options{Shards: 1, FlowCacheEntries: tc.cache})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			var keys []rule.Packet
+			if tc.skewed {
+				for _, e := range classbench.ZipfTrace(set, 8192, 256, 1.2, 2) {
+					keys = append(keys, e.Key)
+				}
+			} else {
+				for _, e := range classbench.UniformTrace(set, 8192, 2) {
+					keys = append(keys, e.Key)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng.Classify(keys[i%len(keys)])
+			}
+		})
+	}
+}
+
 // BenchmarkEngineParallel measures single-packet lookup under concurrent
 // callers (the serving pattern of classifyd: one goroutine per connection,
 // all reading the same atomic snapshot).

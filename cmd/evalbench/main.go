@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,6 +31,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		families  = flag.String("families", "", "comma-separated family subset (default: all 12)")
 		backends  = flag.String("backends", "", "comma-separated engine backend subset for -fig ablation (default: trees+tss+tcam); 'list' prints the registry")
+		jsonOut   = flag.String("json", "", "also write results as JSON to this file (the ablation emits a perf-lab report; figures emit their result structs)")
 	)
 	flag.Parse()
 
@@ -84,6 +86,11 @@ func main() {
 		os.Exit(2)
 	}
 
+	// jsonResults collects every produced result keyed by figure name; with
+	// -json the text tables printed below become one rendering and this
+	// file the other, of the same data.
+	jsonResults := map[string]any{}
+
 	run := func(name string, f func() error) {
 		start := time.Now()
 		fmt.Printf("==== %s (size=%d, budget=%d steps/classifier) ====\n", name, *size, *timesteps)
@@ -102,6 +109,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["figure8"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -112,6 +120,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["figure9"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -122,6 +131,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["figure10"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -132,6 +142,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["figure11"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -142,6 +153,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["figure5"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -152,6 +164,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["figure6"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -162,6 +175,7 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["ablation"] = res.Report
 			res.Write(os.Stdout)
 			return nil
 		})
@@ -172,9 +186,28 @@ func main() {
 			if err != nil {
 				return err
 			}
+			jsonResults["traffic"] = res
 			res.Write(os.Stdout)
 			return nil
 		})
+	}
+
+	if *jsonOut != "" {
+		if len(jsonResults) == 0 {
+			fmt.Fprintln(os.Stderr, "evalbench: -json set but no figure produced results")
+			os.Exit(1)
+		}
+		data, err := json.MarshalIndent(jsonResults, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evalbench: marshal json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "evalbench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote JSON results to %s\n", *jsonOut)
 	}
 }
 

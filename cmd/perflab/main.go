@@ -1,0 +1,206 @@
+// Command perflab is the perf lab's CLI: it runs the scenario-matrix
+// benchmarks of internal/perf, writes versioned JSON artifacts, and diffs
+// runs against a baseline with regression thresholds. Both humans and the
+// CI bench gate drive it.
+//
+//	perflab run                                # pinned CI grid -> BENCH_run.json
+//	perflab run -families acl1,fw1 -sizes 1000 -backends linear,tss,hicuts \
+//	            -skews uniform,zipf -churns readonly,churn -out BENCH_big.json -table
+//	perflab run -split -dir artifacts          # one BENCH_<scenario>.json per cell
+//	perflab baseline                           # refresh BENCH_baseline.json (pinned grid)
+//	perflab compare -old BENCH_baseline.json -new BENCH_run.json
+//
+// compare exits 2 when a threshold is breached, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"neurocuts/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "run":
+		runCmd(os.Args[2:], "BENCH_run.json")
+	case "baseline":
+		runCmd(os.Args[2:], "BENCH_baseline.json")
+	case "compare":
+		compareCmd(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "perflab: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  perflab run      [grid flags] [-out FILE] [-split -dir DIR] [-table]
+  perflab baseline [grid flags] [-out FILE]   (same as run; defaults to BENCH_baseline.json)
+  perflab compare  -old FILE -new FILE [threshold flags]
+
+run 'perflab run -h' or 'perflab compare -h' for flags`)
+}
+
+// runCmd implements both `run` and `baseline` (they differ only in the
+// default output path).
+func runCmd(args []string, defaultOut string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	ciGrid := perf.CIGrid()
+	ciCfg := perf.CIConfig()
+	var (
+		families = fs.String("families", strings.Join(ciGrid.Families, ","), "comma-separated ClassBench families")
+		sizes    = fs.String("sizes", intsToCSV(ciGrid.Sizes), "comma-separated rule-set sizes")
+		skews    = fs.String("skews", "uniform,zipf", "comma-separated traffic skews (uniform, zipf)")
+		churns   = fs.String("churns", "readonly,churn", "comma-separated update modes (readonly, churn)")
+		backends = fs.String("backends", strings.Join(ciGrid.Backends, ","), "comma-separated engine backends")
+		seed     = fs.Int64("seed", ciCfg.Seed, "random seed")
+		ops      = fs.Int("ops", ciCfg.Ops, "measured lookups per cell")
+		runs     = fs.Int("runs", ciCfg.Runs, "measurement passes per cell (best-of)")
+		warmup   = fs.Int("warmup", ciCfg.Warmup, "unmeasured warmup lookups per cell")
+		packets  = fs.Int("packets", ciCfg.Packets, "trace length per cell")
+		flows    = fs.Int("flows", ciCfg.Flows, "zipf flow-population size")
+		zipfSkew = fs.Float64("zipf-s", ciCfg.ZipfSkew, "zipf s parameter (>1)")
+		batch    = fs.Int("batch", ciCfg.BatchSize, "throughput batch size")
+		shards   = fs.Int("shards", ciCfg.Shards, "engine shard count (0 = GOMAXPROCS)")
+		cache    = fs.Int("flow-cache", ciCfg.FlowCacheEntries, "flow cache entries (0 = disabled)")
+		binth    = fs.Int("binth", 0, "leaf threshold for tree backends (0 = default)")
+		out      = fs.String("out", defaultOut, "combined report output path")
+		split    = fs.Bool("split", false, "also write one BENCH_<scenario>.json per cell")
+		dir      = fs.String("dir", ".", "directory for -split artifacts")
+		table    = fs.Bool("table", false, "also print the report as a text table")
+		quiet    = fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+	)
+	fs.Parse(args)
+
+	grid := perf.Grid{
+		Families: splitCSV(*families),
+		Sizes:    csvToInts(*sizes),
+		Skews:    toSkews(splitCSV(*skews)),
+		Churns:   toChurns(splitCSV(*churns)),
+		Backends: splitCSV(*backends),
+	}
+	cfg := perf.RunConfig{
+		Seed: *seed, Ops: *ops, Runs: *runs, Warmup: *warmup, Packets: *packets,
+		Flows: *flows, ZipfSkew: *zipfSkew,
+		BatchSize: *batch, Shards: *shards, FlowCacheEntries: *cache, Binth: *binth,
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	rep, err := perf.Run(grid, cfg, progress)
+	if err != nil {
+		fatal(err)
+	}
+	if err := perf.WriteArtifact(*out, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "perflab: wrote %s (%d cells)\n", *out, len(rep.Cells))
+	if *split {
+		if err := perf.WriteCellArtifacts(*dir, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perflab: wrote %d per-scenario artifacts under %s\n", len(rep.Cells), *dir)
+	}
+	if *table {
+		perf.WriteTable(os.Stdout, rep)
+	}
+}
+
+func compareCmd(args []string) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	th := perf.DefaultThresholds()
+	var (
+		oldPath    = fs.String("old", "BENCH_baseline.json", "baseline report")
+		newPath    = fs.String("new", "BENCH_run.json", "candidate report")
+		latPct     = fs.Float64("max-latency-pct", th.LatencyPct, "max allowed p50 increase, percent")
+		tailPct    = fs.Float64("max-tail-pct", th.TailLatencyPct, "max allowed p99 increase, percent")
+		tpPct      = fs.Float64("max-throughput-pct", th.ThroughputPct, "max allowed throughput decrease, percent")
+		memPct     = fs.Float64("max-memory-pct", th.MemoryPct, "max allowed memory increase, percent")
+		allocDelta = fs.Float64("max-allocs", th.AllocsDelta, "max allowed allocs/op increase, absolute")
+		churnSlack = fs.Float64("churn-slack", th.ChurnSlackFactor, "timing-threshold multiplier for churn cells")
+	)
+	fs.Parse(args)
+
+	old, err := perf.ReadArtifact(*oldPath)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := perf.ReadArtifact(*newPath)
+	if err != nil {
+		fatal(err)
+	}
+	cmp := perf.Compare(old, cand, perf.Thresholds{
+		LatencyPct: *latPct, TailLatencyPct: *tailPct, ThroughputPct: *tpPct,
+		MemoryPct: *memPct, AllocsDelta: *allocDelta, ChurnSlackFactor: *churnSlack,
+	})
+	cmp.Write(os.Stdout)
+	if !cmp.OK() {
+		fmt.Fprintf(os.Stderr, "perflab: %d regression(s), %d missing scenario(s)\n",
+			len(cmp.Regressions()), len(cmp.MissingCells))
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perflab:", err)
+	os.Exit(1)
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(strings.ToLower(part)); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func csvToInts(s string) []int {
+	var out []int
+	for _, part := range splitCSV(s) {
+		n, err := strconv.Atoi(part)
+		if err != nil {
+			fatal(fmt.Errorf("invalid size %q", part))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func intsToCSV(ns []int) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+func toSkews(ss []string) []perf.Skew {
+	out := make([]perf.Skew, len(ss))
+	for i, s := range ss {
+		out[i] = perf.Skew(s)
+	}
+	return out
+}
+
+func toChurns(ss []string) []perf.Churn {
+	out := make([]perf.Churn, len(ss))
+	for i, s := range ss {
+		out[i] = perf.Churn(s)
+	}
+	return out
+}

@@ -57,6 +57,47 @@ func samplePacket(rng *rand.Rand, r rule.Rule) rule.Packet {
 	}
 }
 
+// ZipfTrace builds a skewed header trace: a fixed population of `flows`
+// distinct packets is sampled from inside the classifier's rules (as in
+// GenerateTrace), and the n trace entries draw from that population with
+// Zipf-distributed popularity — rank-1 flows dominate, the tail is cold.
+// This models the flow-size skew of real traffic (a small fraction of flows
+// carries most packets) and is the workload a flow cache exploits.
+//
+// skew is the Zipf s parameter and must exceed 1 for the distribution to be
+// defined; values in [1.1, 1.5] are typical. Non-positive or sub-1 values
+// select 1.2. flows is clamped to [1, n]. Generation is deterministic in
+// seed.
+func ZipfTrace(s *rule.Set, n, flows int, skew float64, seed int64) []packet.TraceEntry {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]packet.TraceEntry, 0, n)
+	rules := s.Rules()
+	if len(rules) == 0 || n <= 0 {
+		return out
+	}
+	if flows < 1 {
+		flows = 1
+	}
+	if flows > n {
+		flows = n
+	}
+	if skew <= 1 {
+		skew = 1.2
+	}
+	// Fixed flow population with ground-truth matches computed once.
+	population := make([]packet.TraceEntry, flows)
+	for i := range population {
+		r := rules[rng.Intn(len(rules))]
+		key := samplePacket(rng, r)
+		population[i] = packet.TraceEntry{Key: key, MatchRule: s.MatchIndex(key)}
+	}
+	z := rand.NewZipf(rng, skew, 1, uint64(flows-1))
+	for len(out) < n {
+		out = append(out, population[z.Uint64()])
+	}
+	return out
+}
+
 // UniformTrace builds a trace of packets drawn uniformly from the whole
 // header space, useful as an adversarial workload where most packets match
 // only the default rule.

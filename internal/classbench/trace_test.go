@@ -1,0 +1,80 @@
+package classbench
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestZipfTraceSkewAndDeterminism(t *testing.T) {
+	fam, err := FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Generate(fam, 100, 1)
+
+	const n, flows = 8000, 50
+	trace := ZipfTrace(set, n, flows, 1.2, 9)
+	if len(trace) != n {
+		t.Fatalf("trace length %d, want %d", len(trace), n)
+	}
+
+	// Ground truth must agree with linear search, and the distinct-flow
+	// count must not exceed the requested population.
+	counts := map[[2]uint64]int{}
+	for i, e := range trace {
+		if got := set.MatchIndex(e.Key); got != e.MatchRule {
+			t.Fatalf("entry %d: MatchRule %d, linear search says %d", i, e.MatchRule, got)
+		}
+		k := [2]uint64{uint64(e.Key.SrcIP)<<32 | uint64(e.Key.DstIP),
+			uint64(e.Key.SrcPort)<<32 | uint64(e.Key.DstPort)<<16 | uint64(e.Key.Proto)}
+		counts[k]++
+	}
+	if len(counts) > flows {
+		t.Fatalf("%d distinct flows, want <= %d", len(counts), flows)
+	}
+
+	// Zipf skew: the hottest flow should carry well more than a uniform
+	// share (n/flows packets would be the uniform expectation).
+	hottest := 0
+	for _, c := range counts {
+		if c > hottest {
+			hottest = c
+		}
+	}
+	if hottest < 3*n/flows {
+		t.Errorf("hottest flow carries %d packets; expected heavy skew (> %d)", hottest, 3*n/flows)
+	}
+
+	// Determinism in the seed.
+	again := ZipfTrace(set, n, flows, 1.2, 9)
+	if !reflect.DeepEqual(trace, again) {
+		t.Error("same seed produced different traces")
+	}
+	other := ZipfTrace(set, n, flows, 1.2, 10)
+	if reflect.DeepEqual(trace, other) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestZipfTraceEdgeCases(t *testing.T) {
+	fam, err := FamilyByName("fw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := Generate(fam, 20, 1)
+
+	if got := ZipfTrace(set, 0, 10, 1.2, 1); len(got) != 0 {
+		t.Errorf("n=0: %d entries", len(got))
+	}
+	// flows clamped to [1, n]; invalid skew falls back to the default.
+	one := ZipfTrace(set, 16, 0, 0, 1)
+	if len(one) != 16 {
+		t.Fatalf("length %d", len(one))
+	}
+	first := one[0]
+	for _, e := range one {
+		if e.Key != first.Key {
+			t.Fatal("flows=1 should repeat a single flow")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+// allocTestSet builds a small deterministic classifier for the allocation
+// budget tests.
+func allocTestSet(t testing.TB, size int) *rule.Set {
+	t.Helper()
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classbench.Generate(fam, size, 1)
+}
+
+// allocTestPackets draws rule-biased packets so lookups traverse real rules
+// rather than falling straight through to no-match.
+func allocTestPackets(set *rule.Set, n int) []rule.Packet {
+	entries := classbench.GenerateTrace(set, n, 7)
+	ps := make([]rule.Packet, len(entries))
+	for i, e := range entries {
+		ps[i] = e.Key
+	}
+	return ps
+}
+
+// zeroAllocBackends are the backends whose lookup paths must not allocate.
+// The tree backends share the same engine paths; linear and tss are the two
+// the CI allocation gate pins.
+var zeroAllocBackends = []string{"linear", "tss"}
+
+// TestZeroAllocSinglePacket asserts the engine's single-packet lookup path
+// performs zero heap allocations per operation.
+func TestZeroAllocSinglePacket(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 64)
+	for _, backend := range zeroAllocBackends {
+		eng, err := NewEngine(backend, set, Options{Shards: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			p := ps[i%len(ps)]
+			i++
+			eng.Classify(p)
+		})
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: single-packet Classify allocates %.1f allocs/op, want 0", backend, allocs)
+		}
+	}
+}
+
+// TestZeroAllocSinglePacketWithFlowCache asserts the flow-cache path (both
+// miss+fill and hit) stays allocation-free.
+func TestZeroAllocSinglePacketWithFlowCache(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 64)
+	for _, backend := range zeroAllocBackends {
+		eng, err := NewEngine(backend, set, Options{Shards: 1, FlowCacheEntries: 1024})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			p := ps[i%len(ps)]
+			i++
+			eng.Classify(p)
+		})
+		hits, misses := eng.CacheStats()
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: cached Classify allocates %.1f allocs/op, want 0", backend, allocs)
+		}
+		if hits == 0 {
+			t.Errorf("%s: flow cache never hit (hits=%d misses=%d)", backend, hits, misses)
+		}
+	}
+}
+
+// TestZeroAllocBatchInline asserts the inline (small-batch) ClassifyBatch
+// path performs zero allocations per batch.
+func TestZeroAllocBatchInline(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 64) // below 2*minShardBatch: inline path
+	out := make([]Result, len(ps))
+	for _, backend := range zeroAllocBackends {
+		eng, err := NewEngine(backend, set, Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			eng.ClassifyBatch(ps, out)
+		})
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: inline ClassifyBatch allocates %.1f allocs/batch, want 0", backend, allocs)
+		}
+	}
+}
+
+// TestZeroAllocBatchSharded asserts the fan-out path — persistent workers,
+// pooled WaitGroups, by-value task dispatch — performs zero steady-state
+// allocations per batch.
+func TestZeroAllocBatchSharded(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 1024)
+	out := make([]Result, len(ps))
+	for _, backend := range zeroAllocBackends {
+		eng, err := NewEngine(backend, set, Options{Shards: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		eng.ClassifyBatch(ps, out) // warm up: start workers outside measurement
+		allocs := testing.AllocsPerRun(100, func() {
+			eng.ClassifyBatch(ps, out)
+		})
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: sharded ClassifyBatch allocates %.1f allocs/batch, want 0", backend, allocs)
+		}
+	}
+}
+
+// TestZeroAllocPooledBuffers asserts a steady-state get/classify/put cycle
+// through the engine buffer pools does not allocate.
+func TestZeroAllocPooledBuffers(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 64)
+	eng, err := NewEngine("linear", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	// Prime the pools so the measurement sees steady state.
+	PutResultBuf(GetResultBuf(len(ps)))
+	allocs := testing.AllocsPerRun(100, func() {
+		out := GetResultBuf(len(ps))
+		eng.ClassifyBatch(ps, out)
+		PutResultBuf(out)
+	})
+	// PutResultBuf re-boxes the slice header; allow that single bookkeeping
+	// allocation but nothing proportional to the batch.
+	if allocs > 1 {
+		t.Errorf("pooled batch cycle allocates %.1f allocs, want <= 1", allocs)
+	}
+}

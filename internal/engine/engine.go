@@ -95,10 +95,37 @@ type Engine struct {
 	nextID int
 
 	shards int
+
+	// cache is the optional sharded flow cache (nil when disabled).
+	cache *flowCache
+
+	// Persistent batch workers. Spawning a goroutine per shard per call
+	// allocates on every batch; instead the first large batch starts a
+	// fixed pool of workers that live for the engine's lifetime and pull
+	// work spans off a preallocated channel. workersUp gates the fast path
+	// with a single atomic load.
+	workersUp atomic.Bool
+	workOnce  sync.Once
+	work      chan batchTask
+	closeOnce sync.Once
 }
 
-// minShardBatch is the smallest per-shard slice worth a goroutine; batches
-// below 2*minShardBatch run inline on the caller's goroutine.
+// batchTask is one span of a batch dispatched to a shard worker. The struct
+// is sent by value over a buffered channel, so dispatch does not allocate.
+type batchTask struct {
+	snap *snapshot
+	ps   []rule.Packet
+	out  []Result
+	wg   *sync.WaitGroup
+}
+
+// wgPool recycles the per-call WaitGroups of sharded batches so the fan-out
+// path stays allocation-free in steady state.
+var wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+
+// minShardBatch is the smallest per-shard slice worth dispatching to a
+// worker; batches below 2*minShardBatch run inline on the caller's
+// goroutine.
 const minShardBatch = 64
 
 // NewEngine builds the named backend over the rule set and wraps it in an
@@ -118,6 +145,7 @@ func NewEngine(name string, set *rule.Set, opts Options) (*Engine, error) {
 		shards = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{backend: entry, opts: opts, shards: shards}
+	e.cache = newFlowCache(opts.FlowCacheEntries, opts.FlowCacheShards)
 	e.snap.Store(&snapshot{cls: cls, set: set, version: 1})
 	for _, r := range set.Rules() {
 		if r.ID >= e.nextID {
@@ -138,43 +166,115 @@ func (e *Engine) Version() uint64 { return e.snap.Load().version }
 // immutable: updates replace it rather than mutating it.
 func (e *Engine) Rules() *rule.Set { return e.snap.Load().set }
 
-// Classify looks up one packet in the current snapshot.
+// Classify looks up one packet in the current snapshot, consulting the flow
+// cache first when one is configured. The path performs zero heap
+// allocations for allocation-free backends (linear, tss).
 func (e *Engine) Classify(p rule.Packet) (rule.Rule, bool) {
-	return e.snap.Load().cls.Classify(p)
+	return e.classifyOne(e.snap.Load(), p)
+}
+
+// classifyOne is the cache-aware single-packet path against a pinned
+// snapshot.
+func (e *Engine) classifyOne(s *snapshot, p rule.Packet) (rule.Rule, bool) {
+	if e.cache != nil {
+		if r, ok, hit := e.cache.get(p, s.version); hit {
+			return r, ok
+		}
+	}
+	r, ok := s.cls.Classify(p)
+	if e.cache != nil {
+		e.cache.put(p, s.version, r, ok)
+	}
+	return r, ok
+}
+
+// classifyChunk classifies one span of a batch against a pinned snapshot,
+// through the flow cache when one is configured.
+func (e *Engine) classifyChunk(s *snapshot, ps []rule.Packet, out []Result) {
+	if e.cache == nil {
+		s.cls.ClassifyBatch(ps, out)
+		return
+	}
+	for i, p := range ps {
+		out[i].Rule, out[i].OK = e.classifyOne(s, p)
+	}
 }
 
 // Metrics reports the current snapshot's metrics.
 func (e *Engine) Metrics() Metrics { return e.snap.Load().cls.Metrics() }
 
 // ClassifyBatch classifies every packet of the batch against one coherent
-// snapshot, splitting the batch across the engine's worker shards. Small
-// batches run inline: fanning out costs more than it saves below roughly a
-// hundred packets.
+// snapshot, splitting the batch across the engine's persistent worker pool.
+// Small batches run inline: fanning out costs more than it saves below
+// roughly a hundred packets. The fan-out path reuses pooled WaitGroups and
+// sends fixed-size task structs over a preallocated channel, so steady-state
+// dispatch performs no heap allocations.
 func (e *Engine) ClassifyBatch(ps []rule.Packet, out []Result) {
-	cls := e.snap.Load().cls
+	snap := e.snap.Load()
 	n := len(ps)
 	if e.shards <= 1 || n < 2*minShardBatch {
-		cls.ClassifyBatch(ps, out)
+		e.classifyChunk(snap, ps, out)
 		return
+	}
+	if !e.workersUp.Load() {
+		e.startWorkers()
+		if !e.workersUp.Load() {
+			// The engine was closed before its first large batch; degrade
+			// to the inline path instead of touching the dead worker pool.
+			e.classifyChunk(snap, ps, out)
+			return
+		}
 	}
 	shards := e.shards
 	if max := (n + minShardBatch - 1) / minShardBatch; shards > max {
 		shards = max
 	}
 	chunk := (n + shards - 1) / shards
-	var wg sync.WaitGroup
+	wg := wgPool.Get().(*sync.WaitGroup)
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			cls.ClassifyBatch(ps[lo:hi], out[lo:hi])
-		}(lo, hi)
+		e.work <- batchTask{snap: snap, ps: ps[lo:hi], out: out[lo:hi], wg: wg}
 	}
 	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// startWorkers spawns the engine's persistent shard workers exactly once.
+func (e *Engine) startWorkers() {
+	e.workOnce.Do(func() {
+		// Buffer one full fan-out's worth of tasks per worker so dispatch
+		// rarely blocks even with several concurrent batch callers.
+		e.work = make(chan batchTask, 4*e.shards)
+		for i := 0; i < e.shards; i++ {
+			go func() {
+				for t := range e.work {
+					e.classifyChunk(t.snap, t.ps, t.out)
+					t.wg.Done()
+				}
+			}()
+		}
+		e.workersUp.Store(true)
+	})
+}
+
+// Close releases the engine's worker goroutines. It is safe to call more
+// than once; the engine must not be used for batch classification after
+// Close. Engines that never saw a large batch hold no goroutines, so Close
+// is optional for short-lived engines.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		// Consuming the Once first means a concurrent in-flight start
+		// finishes before we observe workersUp, and no future call can
+		// respawn workers.
+		e.workOnce.Do(func() {})
+		if e.workersUp.Load() {
+			close(e.work)
+		}
+	})
 }
 
 // UpdateResult describes the snapshot published by one successful update.

@@ -1,0 +1,115 @@
+package engine
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+// TestFlowCacheCorrectness checks that cached answers agree with the
+// uncached engine on a skewed trace.
+func TestFlowCacheCorrectness(t *testing.T) {
+	fam, err := classbench.FamilyByName("fw1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 200, 3)
+	cached, err := NewEngine("linear", set, Options{Shards: 1, FlowCacheEntries: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cached.Close()
+	plain, err := NewEngine("linear", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+
+	trace := classbench.ZipfTrace(set, 5000, 64, 1.2, 11)
+	for i, e := range trace {
+		cr, cok := cached.Classify(e.Key)
+		pr, pok := plain.Classify(e.Key)
+		if cok != pok || (cok && cr.ID != pr.ID) {
+			t.Fatalf("packet %d: cached (%v,%v) != plain (%v,%v)", i, cr.ID, cok, pr.ID, pok)
+		}
+	}
+	hits, misses := cached.CacheStats()
+	if hits == 0 {
+		t.Fatalf("zipf trace produced no cache hits (misses=%d)", misses)
+	}
+	// Zipf skew over 64 flows against 256 slots should hit far more often
+	// than it misses.
+	if float64(hits)/float64(hits+misses) < 0.5 {
+		t.Errorf("hit rate %.2f suspiciously low for zipf traffic (hits=%d misses=%d)",
+			float64(hits)/float64(hits+misses), hits, misses)
+	}
+}
+
+// TestFlowCacheInvalidatedByUpdate checks that a rule update can never serve
+// a stale cached result: the snapshot version bump turns every old entry
+// into a miss.
+func TestFlowCacheInvalidatedByUpdate(t *testing.T) {
+	// Rule 0 matches SrcIP=10 only; a wildcard default sits behind it.
+	specific := rule.NewWildcardRule(0)
+	specific.Ranges[rule.DimSrcIP] = rule.Range{Lo: 10, Hi: 10}
+	set := rule.NewSet([]rule.Rule{specific, rule.NewWildcardRule(1)})
+	eng, err := NewEngine("linear", set, Options{Shards: 1, FlowCacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	p := rule.Packet{SrcIP: 10}
+	before, ok := eng.Classify(p)
+	if !ok || before.ID != 0 {
+		t.Fatalf("expected rule 0 before update, got %v ok=%v", before.ID, ok)
+	}
+	eng.Classify(p) // cache hit for the old snapshot
+
+	if _, err := eng.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := eng.Classify(p)
+	if !ok {
+		t.Fatal("default rule should still match")
+	}
+	if after.ID == 0 {
+		t.Fatalf("cache served deleted rule 0 after update")
+	}
+}
+
+// TestFlowCacheBatchPath checks the batch fan-out also flows through the
+// cache and agrees with ground truth.
+func TestFlowCacheBatchPath(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 150, 5)
+	eng, err := NewEngine("linear", set, Options{Shards: 4, FlowCacheEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	trace := classbench.ZipfTrace(set, 2048, 32, 1.3, 21)
+	ps := make([]rule.Packet, len(trace))
+	for i, e := range trace {
+		ps[i] = e.Key
+	}
+	out := make([]Result, len(ps))
+	eng.ClassifyBatch(ps, out)
+	for i, e := range trace {
+		want := e.MatchRule >= 0
+		if out[i].OK != want {
+			t.Fatalf("packet %d: ok=%v want %v", i, out[i].OK, want)
+		}
+		if want && out[i].Rule.ID != set.Rule(e.MatchRule).ID {
+			t.Fatalf("packet %d: rule %d want %d", i, out[i].Rule.ID, set.Rule(e.MatchRule).ID)
+		}
+	}
+	if hits, _ := eng.CacheStats(); hits == 0 {
+		t.Error("batch path bypassed the flow cache")
+	}
+}

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"sync"
+
+	"neurocuts/internal/rule"
+)
+
+// Pooled batch buffers. Serving paths (internal/server's batch requests, the
+// perf harness's throughput loops) need a packet slice and a result slice
+// per batch; allocating them per request shows up directly as allocs/op.
+// These pools hand out reusable buffers instead.
+//
+// Safety: a recycled buffer still holds the previous batch's contents, and a
+// caller that classifies fewer packets than the buffer's capacity — or takes
+// an error path that skips some slots — must never observe a stale match
+// from an earlier batch. GetResultBuf therefore clears every slot it hands
+// out before returning, and returns the slice length-reset to exactly n.
+
+var resultBufPool = sync.Pool{New: func() any { s := make([]Result, 0, 1024); return &s }}
+var packetBufPool = sync.Pool{New: func() any { s := make([]rule.Packet, 0, 1024); return &s }}
+
+// GetResultBuf returns a cleared result buffer of length n from the pool.
+// Every slot is zeroed (no rule, OK=false), so unwritten slots read as
+// no-match rather than as a leftover from a previous batch.
+func GetResultBuf(n int) []Result {
+	p := resultBufPool.Get().(*[]Result)
+	s := *p
+	if cap(s) < n {
+		// Too small for this batch: return it for smaller batches and
+		// allocate a right-sized replacement.
+		resultBufPool.Put(p)
+		return make([]Result, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// PutResultBuf recycles a buffer obtained from GetResultBuf. The buffer must
+// not be used after the call.
+func PutResultBuf(s []Result) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	resultBufPool.Put(&s)
+}
+
+// GetPacketBuf returns a cleared packet buffer of length n from the pool.
+func GetPacketBuf(n int) []rule.Packet {
+	p := packetBufPool.Get().(*[]rule.Packet)
+	s := *p
+	if cap(s) < n {
+		packetBufPool.Put(p)
+		return make([]rule.Packet, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// PutPacketBuf recycles a buffer obtained from GetPacketBuf.
+func PutPacketBuf(s []rule.Packet) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	packetBufPool.Put(&s)
+}

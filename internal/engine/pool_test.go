@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"testing"
+
+	"neurocuts/internal/rule"
+)
+
+// TestResultBufNoStaleLeak is the regression test for pooled result-buffer
+// reuse: a buffer recycled from a batch full of matches must come back fully
+// cleared, so a later, larger or partially written batch can never observe a
+// stale match from the earlier one.
+func TestResultBufNoStaleLeak(t *testing.T) {
+	buf := GetResultBuf(8)
+	if len(buf) != 8 {
+		t.Fatalf("GetResultBuf(8) length = %d", len(buf))
+	}
+	for i := range buf {
+		buf[i] = Result{OK: true, Rule: rule.Rule{ID: 99, Priority: 42}}
+	}
+	PutResultBuf(buf)
+
+	// Same pool, larger request: every slot — including the ones beyond the
+	// first batch's length — must read as zero / no-match.
+	buf2 := GetResultBuf(16)
+	if len(buf2) != 16 {
+		t.Fatalf("GetResultBuf(16) length = %d", len(buf2))
+	}
+	for i, r := range buf2 {
+		if r.OK || r.Rule.ID != 0 || r.Rule.Priority != 0 {
+			t.Fatalf("slot %d leaked stale result %+v", i, r)
+		}
+	}
+	PutResultBuf(buf2)
+}
+
+// TestResultBufStaleLeakThroughEngine drives the leak scenario end to end:
+// classify a batch of matching packets into a pooled buffer, recycle it,
+// then classify a smaller batch of non-matching packets into a recycled
+// buffer and check the tail slots don't resurrect the old matches.
+func TestResultBufStaleLeakThroughEngine(t *testing.T) {
+	// One rule matching exactly one source address, and no default rule, so
+	// a miss is really a miss.
+	r := rule.NewWildcardRule(0)
+	r.Ranges[rule.DimSrcIP] = rule.Range{Lo: 10, Hi: 10}
+	set := rule.NewSet([]rule.Rule{r})
+	eng, err := NewEngine("linear", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	match := rule.Packet{SrcIP: 10}
+	miss := rule.Packet{SrcIP: 11}
+
+	ps := []rule.Packet{match, match, match, match}
+	out := GetResultBuf(len(ps))
+	eng.ClassifyBatch(ps, out)
+	for i, res := range out {
+		if !res.OK {
+			t.Fatalf("packet %d should match", i)
+		}
+	}
+	PutResultBuf(out)
+
+	ps2 := []rule.Packet{miss, miss}
+	out2 := GetResultBuf(4) // recycled buffer, longer than the batch
+	eng.ClassifyBatch(ps2, out2[:len(ps2)])
+	for i := 0; i < len(ps2); i++ {
+		if out2[i].OK {
+			t.Fatalf("packet %d: stale match leaked: %+v", i, out2[i])
+		}
+	}
+	for i := len(ps2); i < len(out2); i++ {
+		if out2[i].OK || out2[i].Rule.ID != 0 {
+			t.Fatalf("unwritten slot %d holds stale result %+v", i, out2[i])
+		}
+	}
+	PutResultBuf(out2)
+}
+
+// TestPacketBufCleared mirrors the result-buffer guarantee for packet
+// buffers: recycled buffers come back zeroed, so slots skipped by a parse
+// error read as the zero packet.
+func TestPacketBufCleared(t *testing.T) {
+	buf := GetPacketBuf(4)
+	for i := range buf {
+		buf[i] = rule.Packet{SrcIP: 0xdeadbeef, Proto: 6}
+	}
+	PutPacketBuf(buf)
+	buf2 := GetPacketBuf(8)
+	for i, p := range buf2 {
+		if p != (rule.Packet{}) {
+			t.Fatalf("slot %d holds stale packet %+v", i, p)
+		}
+	}
+	PutPacketBuf(buf2)
+}
+
+// TestBufPoolGrowth covers the grow path: a request larger than the pooled
+// capacity must still return a right-sized cleared buffer.
+func TestBufPoolGrowth(t *testing.T) {
+	big := GetResultBuf(5000)
+	if len(big) != 5000 {
+		t.Fatalf("length = %d", len(big))
+	}
+	for i := range big {
+		if big[i].OK {
+			t.Fatalf("slot %d not cleared", i)
+		}
+	}
+	PutResultBuf(big)
+	again := GetResultBuf(5000)
+	if len(again) != 5000 {
+		t.Fatalf("recycled length = %d", len(again))
+	}
+	PutResultBuf(again)
+}

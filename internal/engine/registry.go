@@ -29,6 +29,14 @@ type Options struct {
 	// Shards is the Engine's batch-lookup shard count (0 selects
 	// GOMAXPROCS). It does not affect the underlying data structure.
 	Shards int
+	// FlowCacheEntries sizes the engine's sharded flow cache (rounded up to
+	// a power of two per shard). 0 disables the cache. The cache memoises
+	// (5-tuple -> result) per snapshot version, which pays off on skewed
+	// traffic where few flows carry most packets.
+	FlowCacheEntries int
+	// FlowCacheShards overrides the flow cache's lock-shard count
+	// (0 selects 64). Only meaningful when FlowCacheEntries > 0.
+	FlowCacheShards int
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ArtifactName returns the canonical per-scenario artifact file name,
+// "BENCH_<scenario>.json".
+func ArtifactName(c Cell) string {
+	return fmt.Sprintf("BENCH_%s.json", c.Name())
+}
+
+// WriteArtifact marshals the report as indented JSON to path.
+func WriteArtifact(path string, r Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perf: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteCellArtifacts writes one single-cell report per scenario into dir,
+// named BENCH_<scenario>.json. Each file is a full, self-describing Report
+// so any artifact can be compared or rendered on its own.
+func WriteCellArtifacts(dir string, r Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("perf: create artifact dir %s: %w", dir, err)
+	}
+	for _, c := range r.Cells {
+		single := Report{
+			SchemaVersion: r.SchemaVersion,
+			Tool:          r.Tool,
+			Grid:          r.Grid,
+			Config:        r.Config,
+			Cells:         []CellResult{c},
+		}
+		if err := WriteArtifact(filepath.Join(dir, ArtifactName(c.Cell)), single); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadArtifact loads a report from path, validating the schema version.
+func ReadArtifact(path string) (Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("perf: read %s: %w", path, err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return Report{}, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return Report{}, fmt.Errorf("perf: %s: schema version %d, this build speaks %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	if len(r.Cells) == 0 {
+		return Report{}, fmt.Errorf("perf: %s: report has no cells", path)
+	}
+	return r, nil
+}

@@ -1,0 +1,190 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// Thresholds configures what Compare counts as a regression. Percentages
+// are relative increases (or, for throughput, decreases); AllocsDelta is an
+// absolute allowance on allocations per op.
+type Thresholds struct {
+	// LatencyPct flags p50 increases beyond this percentage.
+	LatencyPct float64 `json:"latency_pct"`
+	// TailLatencyPct flags p99 increases beyond this percentage. The p99 of
+	// a 10k-sample loop is the 100th-worst sample — dominated by scheduler
+	// preemption and timer jitter rather than by the code under test, so
+	// run-to-run movement of 3-4x is ordinary even on a quiet machine. The
+	// tail band is therefore wide and only catches order-of-magnitude
+	// collapses (a new lock on the read path, a rebuild stall); the precise
+	// latency gate is the median.
+	TailLatencyPct float64 `json:"tail_latency_pct"`
+	// ThroughputPct flags throughput decreases beyond this percentage.
+	ThroughputPct float64 `json:"throughput_pct"`
+	// MemoryPct flags memory-footprint increases beyond this percentage.
+	MemoryPct float64 `json:"memory_pct"`
+	// AllocsDelta flags allocs/op increases beyond this absolute amount;
+	// the CI gate runs with 0, i.e. any new allocation on the hot path
+	// fails the build.
+	AllocsDelta float64 `json:"allocs_delta"`
+	// ChurnSlackFactor widens the three timing thresholds (latency, tail,
+	// throughput) for churn cells by this multiple. Timing under a
+	// concurrent rebuild writer is dominated by interference luck, so
+	// churn cells keep only coarse timing protection (a genuine multi-x
+	// collapse still fails) while allocs and memory stay strict. 0 selects
+	// 3.
+	ChurnSlackFactor float64 `json:"churn_slack_factor"`
+}
+
+// DefaultThresholds matches the CI bench gate: >25% median latency or
+// throughput movement, >400% (5x) tail movement, >25% memory growth, and
+// any allocs/op increase at all.
+func DefaultThresholds() Thresholds {
+	return Thresholds{LatencyPct: 25, TailLatencyPct: 400, ThroughputPct: 25,
+		MemoryPct: 25, AllocsDelta: 0, ChurnSlackFactor: 3}
+}
+
+// Delta is one metric's movement on one cell.
+type Delta struct {
+	Cell   string  `json:"cell"`
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Pct is the relative change in percent ((new-old)/old*100); 0 when old
+	// is 0.
+	Pct float64 `json:"pct"`
+	// Regression marks deltas that breached their threshold.
+	Regression bool `json:"regression"`
+}
+
+// Comparison is the outcome of diffing two reports.
+type Comparison struct {
+	Thresholds Thresholds `json:"thresholds"`
+	// Deltas lists every compared metric on every matched cell.
+	Deltas []Delta `json:"deltas"`
+	// MissingCells are scenarios present in the old report but absent from
+	// the new one; losing coverage fails the gate.
+	MissingCells []string `json:"missing_cells"`
+	// NewCells are scenarios only the new report has (informational).
+	NewCells []string `json:"new_cells"`
+}
+
+// Regressions returns only the deltas that breached a threshold.
+func (c Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// OK reports whether the comparison is free of regressions and coverage
+// loss.
+func (c Comparison) OK() bool {
+	return len(c.Regressions()) == 0 && len(c.MissingCells) == 0
+}
+
+// Compare diffs two reports cell by cell. Cells are matched by canonical
+// scenario name; per-metric deltas breaching the thresholds are marked as
+// regressions.
+func Compare(old, cand Report, th Thresholds) Comparison {
+	cmp := Comparison{Thresholds: th}
+	newByName := map[string]CellResult{}
+	for _, c := range cand.Cells {
+		newByName[c.Cell.Name()] = c
+	}
+	oldNames := map[string]bool{}
+	for _, oc := range old.Cells {
+		name := oc.Cell.Name()
+		oldNames[name] = true
+		nc, ok := newByName[name]
+		if !ok {
+			cmp.MissingCells = append(cmp.MissingCells, name)
+			continue
+		}
+		om, nm := oc.Metrics, nc.Metrics
+		slack := 1.0
+		if oc.Cell.Churn == ChurnUpdates {
+			slack = th.ChurnSlackFactor
+			if slack <= 0 {
+				slack = 3
+			}
+		}
+		cmp.add(name, "p50_nanos", om.P50Nanos, nm.P50Nanos,
+			increaseBeyondPct(om.P50Nanos, nm.P50Nanos, th.LatencyPct*slack))
+		cmp.add(name, "p99_nanos", om.P99Nanos, nm.P99Nanos,
+			increaseBeyondPct(om.P99Nanos, nm.P99Nanos, th.TailLatencyPct*slack))
+		cmp.add(name, "throughput_pps", om.ThroughputPPS, nm.ThroughputPPS,
+			decreaseBeyondPct(om.ThroughputPPS, nm.ThroughputPPS, minFloat(th.ThroughputPct*slack, 95)))
+		cmp.add(name, "memory_bytes", float64(om.MemoryBytes), float64(nm.MemoryBytes),
+			increaseBeyondPct(float64(om.MemoryBytes), float64(nm.MemoryBytes), th.MemoryPct))
+		cmp.add(name, "allocs_per_op", om.AllocsPerOp, nm.AllocsPerOp,
+			nm.AllocsPerOp > om.AllocsPerOp+th.AllocsDelta)
+	}
+	for name := range newByName {
+		if !oldNames[name] {
+			cmp.NewCells = append(cmp.NewCells, name)
+		}
+	}
+	return cmp
+}
+
+func (c *Comparison) add(cell, metric string, oldV, newV float64, regressed bool) {
+	d := Delta{Cell: cell, Metric: metric, Old: oldV, New: newV, Regression: regressed}
+	if oldV != 0 {
+		d.Pct = (newV - oldV) / oldV * 100
+	}
+	c.Deltas = append(c.Deltas, d)
+}
+
+func increaseBeyondPct(oldV, newV, pct float64) bool {
+	if oldV <= 0 {
+		return false
+	}
+	return newV > oldV*(1+pct/100)
+}
+
+func decreaseBeyondPct(oldV, newV, pct float64) bool {
+	if oldV <= 0 {
+		return false
+	}
+	return newV < oldV*(1-pct/100)
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Write renders the comparison as text: regressions and coverage changes
+// first, then the full delta table.
+func (c Comparison) Write(w io.Writer) {
+	regs := c.Regressions()
+	if len(regs) == 0 && len(c.MissingCells) == 0 {
+		fmt.Fprintln(w, "compare: no regressions")
+	}
+	for _, name := range c.MissingCells {
+		fmt.Fprintf(w, "REGRESSION %s: scenario missing from new report\n", name)
+	}
+	for _, d := range regs {
+		fmt.Fprintf(w, "REGRESSION %s %s: %.2f -> %.2f (%+.1f%%)\n", d.Cell, d.Metric, d.Old, d.New, d.Pct)
+	}
+	for _, name := range c.NewCells {
+		fmt.Fprintf(w, "note: new scenario %s (no baseline)\n", name)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tmetric\told\tnew\tdelta")
+	for _, d := range c.Deltas {
+		flag := ""
+		if d.Regression {
+			flag = "  <-- REGRESSION"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%+.1f%%%s\n", d.Cell, d.Metric, d.Old, d.New, d.Pct, flag)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,127 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// baselineReport fabricates a deterministic two-cell report.
+func baselineReport() Report {
+	mk := func(family string, p50, p99, pps, allocs float64, mem int) CellResult {
+		return CellResult{
+			Cell: Cell{Family: family, Size: 300, Skew: SkewUniform, Churn: ChurnNone, Backend: "linear"},
+			Metrics: CellMetrics{
+				P50Nanos: p50, P99Nanos: p99, ThroughputPPS: pps,
+				AllocsPerOp: allocs, MemoryBytes: mem, LookupCost: 300, Rules: 300,
+			},
+		}
+	}
+	return Report{
+		SchemaVersion: SchemaVersion,
+		Tool:          "perflab",
+		Config:        RunConfig{Seed: 1}.WithDefaults(),
+		Cells: []CellResult{
+			mk("acl1", 1000, 2000, 5e6, 0, 1<<20),
+			mk("fw1", 1500, 3000, 4e6, 0, 2<<20),
+		},
+	}
+}
+
+func TestCompareUnchangedPasses(t *testing.T) {
+	old := baselineReport()
+	cmp := Compare(old, old, DefaultThresholds())
+	if !cmp.OK() {
+		t.Fatalf("identical reports flagged: %+v", cmp.Regressions())
+	}
+	if len(cmp.Deltas) != 10 { // 5 metrics x 2 cells
+		t.Errorf("deltas = %d, want 10", len(cmp.Deltas))
+	}
+	// Small, sub-threshold noise must also pass.
+	noisy := baselineReport()
+	for i := range noisy.Cells {
+		noisy.Cells[i].Metrics.P50Nanos *= 1.10
+		noisy.Cells[i].Metrics.ThroughputPPS *= 0.90
+	}
+	if cmp := Compare(old, noisy, DefaultThresholds()); !cmp.OK() {
+		t.Fatalf("sub-threshold noise flagged: %+v", cmp.Regressions())
+	}
+}
+
+func TestCompareFlagsInjectedLatencyRegression(t *testing.T) {
+	old := baselineReport()
+	bad := baselineReport()
+	// The acceptance scenario: a 2x latency regression on one cell. The
+	// median gate catches it; the tail band is deliberately wider than 2x.
+	bad.Cells[0].Metrics.P50Nanos *= 2
+	bad.Cells[0].Metrics.P99Nanos *= 2
+	cmp := Compare(old, bad, DefaultThresholds())
+	if cmp.OK() {
+		t.Fatal("2x latency regression not flagged")
+	}
+	regs := cmp.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "p50_nanos" {
+		t.Fatalf("regressions = %+v, want p50 on one cell", regs)
+	}
+	if regs[0].Cell != bad.Cells[0].Cell.Name() {
+		t.Errorf("regression attributed to %q", regs[0].Cell)
+	}
+	var buf bytes.Buffer
+	cmp.Write(&buf)
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Error("rendered comparison missing REGRESSION marker")
+	}
+
+	// A tail collapse beyond the wide band (6x) is still caught even with
+	// the median unchanged.
+	tailBad := baselineReport()
+	tailBad.Cells[0].Metrics.P99Nanos *= 6
+	cmp = Compare(old, tailBad, DefaultThresholds())
+	regs = cmp.Regressions()
+	if len(regs) != 1 || regs[0].Metric != "p99_nanos" {
+		t.Fatalf("tail collapse regressions = %+v, want p99 on one cell", regs)
+	}
+}
+
+func TestCompareFlagsAllocAndThroughputAndMemory(t *testing.T) {
+	old := baselineReport()
+	bad := baselineReport()
+	bad.Cells[0].Metrics.AllocsPerOp = 0.5 // any increase over 0 fails
+	bad.Cells[1].Metrics.ThroughputPPS /= 2
+	bad.Cells[1].Metrics.MemoryBytes *= 2
+	cmp := Compare(old, bad, DefaultThresholds())
+	got := map[string]bool{}
+	for _, d := range cmp.Regressions() {
+		got[d.Metric] = true
+	}
+	for _, want := range []string{"allocs_per_op", "throughput_pps", "memory_bytes"} {
+		if !got[want] {
+			t.Errorf("missing %s regression: %+v", want, cmp.Regressions())
+		}
+	}
+}
+
+func TestCompareMissingAndNewCells(t *testing.T) {
+	old := baselineReport()
+	shrunk := baselineReport()
+	shrunk.Cells = shrunk.Cells[:1]
+	cmp := Compare(old, shrunk, DefaultThresholds())
+	if cmp.OK() {
+		t.Fatal("coverage loss must fail the comparison")
+	}
+	if len(cmp.MissingCells) != 1 {
+		t.Fatalf("missing = %v", cmp.MissingCells)
+	}
+
+	grown := baselineReport()
+	extra := grown.Cells[0]
+	extra.Cell.Family = "ipc1"
+	grown.Cells = append(grown.Cells, extra)
+	cmp = Compare(old, grown, DefaultThresholds())
+	if !cmp.OK() {
+		t.Fatalf("new cells must not fail: %+v", cmp.Regressions())
+	}
+	if len(cmp.NewCells) != 1 {
+		t.Fatalf("new = %v", cmp.NewCells)
+	}
+}

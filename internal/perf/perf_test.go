@@ -1,0 +1,158 @@
+package perf
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testGrid is a small but axis-complete grid: 2 families x 1 size x 2 skews
+// x 1 churn mode x 2 backends = 8 cells, fast enough for the test suite.
+func testGrid() Grid {
+	return Grid{
+		Families: []string{"acl1", "fw1"},
+		Sizes:    []int{120},
+		Skews:    []Skew{SkewUniform, SkewZipf},
+		Churns:   []Churn{ChurnNone},
+		Backends: []string{"linear", "tss"},
+	}
+}
+
+func testConfig() RunConfig {
+	return RunConfig{Seed: 1, Packets: 512, Ops: 400, Warmup: 100,
+		Flows: 32, ZipfSkew: 1.2, BatchSize: 64, Shards: 1}
+}
+
+func TestRunGoldenDeterministicJSON(t *testing.T) {
+	rep, err := Run(testGrid(), testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(rep.Cells))
+	}
+
+	// Schema validity: the artifact round-trips through the reader with the
+	// expected version and required fields present.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	if err := WriteArtifact(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema version %d", back.SchemaVersion)
+	}
+	var raw map[string]any
+	data, _ := os.ReadFile(path)
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema_version", "tool", "grid", "config", "cells"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("artifact missing top-level key %q", key)
+		}
+	}
+
+	// Determinism: a second run with the same seed must agree on every
+	// structural field (the canonical form zeroes the timing fields).
+	again, err := Run(testGrid(), testConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.MarshalIndent(rep.Canonical(), "", "  ")
+	b, _ := json.MarshalIndent(again.Canonical(), "", "  ")
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different canonical reports:\n%s\n--- vs ---\n%s", a, b)
+	}
+
+	// Golden file: the canonical JSON is pinned, so schema or generator
+	// drift is caught by the suite (refresh with `go test ./internal/perf
+	// -run Golden -update`).
+	golden := filepath.Join("testdata", "golden_report.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, append(a, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(want), bytes.TrimSpace(a)) {
+		t.Errorf("canonical report drifted from golden file; rerun with -update if intentional")
+	}
+
+	// Timing fields must actually be populated in the live report.
+	for _, c := range rep.Cells {
+		if c.Metrics.P50Nanos <= 0 || c.Metrics.ThroughputPPS <= 0 {
+			t.Errorf("%s: unmeasured timing fields %+v", c.Cell.Name(), c.Metrics)
+		}
+		if c.Metrics.Rules <= 0 || c.Metrics.MemoryBytes <= 0 {
+			t.Errorf("%s: degenerate structural fields %+v", c.Cell.Name(), c.Metrics)
+		}
+	}
+}
+
+func TestCellNamesAndGridExpansion(t *testing.T) {
+	g := CIGrid()
+	cells := g.Cells()
+	if len(cells) != 24 {
+		t.Fatalf("CI grid has %d cells, want 24", len(cells))
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		name := c.Name()
+		if seen[name] {
+			t.Fatalf("duplicate cell name %s", name)
+		}
+		seen[name] = true
+	}
+	c := Cell{Family: "acl1", Size: 1000, Skew: SkewZipf, Churn: ChurnUpdates, Backend: "tss"}
+	if got := c.Name(); got != "acl1_1k_zipf_churn_tss" {
+		t.Errorf("Name() = %q", got)
+	}
+	if got := ArtifactName(c); got != "BENCH_acl1_1k_zipf_churn_tss.json" {
+		t.Errorf("ArtifactName() = %q", got)
+	}
+}
+
+func TestChurnCellAppliesUpdates(t *testing.T) {
+	cell := Cell{Family: "acl1", Size: 100, Skew: SkewZipf, Churn: ChurnUpdates, Backend: "linear"}
+	res, err := MeasureCell(cell, RunConfig{Seed: 1, Packets: 256, Ops: 3000, Warmup: 50,
+		Flows: 16, ZipfSkew: 1.2, BatchSize: 64, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Updates == 0 {
+		t.Error("churn cell applied no updates")
+	}
+}
+
+func TestReadArtifactRejectsBadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema_version": 999, "cells": [{}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadArtifact(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Fatalf("expected schema-version error, got %v", err)
+	}
+	empty := filepath.Join(dir, "empty.json")
+	os.WriteFile(empty, []byte(`{"schema_version": 1, "cells": []}`), 0o644)
+	if _, err := ReadArtifact(empty); err == nil {
+		t.Fatal("expected error for empty report")
+	}
+}

@@ -1,0 +1,24 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+)
+
+// WriteTable renders the report as a text table — the human view of exactly
+// the data the JSON artifact carries.
+func WriteTable(w io.Writer, r Report) {
+	fmt.Fprintf(w, "perf report (schema v%d, seed %d, %d cells)\n",
+		r.SchemaVersion, r.Config.Seed, len(r.Cells))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scenario\tp50 ns\tp99 ns\tMpps\tbuild ms\tmem KiB\tallocs/op\tlookup cost\tupdates\thit rate")
+	for _, c := range r.Cells {
+		m := c.Metrics
+		fmt.Fprintf(tw, "%s\t%.0f\t%.0f\t%.2f\t%.2f\t%.1f\t%.2f\t%d\t%d\t%.2f\n",
+			c.Cell.Name(), m.P50Nanos, m.P99Nanos, m.ThroughputPPS/1e6,
+			float64(m.BuildNanos)/1e6, float64(m.MemoryBytes)/1024,
+			m.AllocsPerOp, m.LookupCost, m.Updates, m.CacheHitRate)
+	}
+	tw.Flush()
+}

@@ -232,7 +232,13 @@ func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, n int) boo
 	if n <= 0 || n > MaxBatch {
 		return writeLine(w, fmt.Sprintf("error batch size must be in [1, %d]", MaxBatch))
 	}
-	packets := make([]rule.Packet, n)
+	// Batch buffers come from the engine's pools: handleBatch runs once per
+	// "batch" request, and per-request make() calls dominate the serving
+	// path's allocation profile. The pool clears recycled buffers before
+	// handing them out, so a parse error that leaves a slot unwritten reads
+	// as the zero packet / no-match, never as data from a previous batch.
+	packets := engine.GetPacketBuf(n)
+	defer engine.PutPacketBuf(packets)
 	parseErrs := make([]error, n)
 	for i := 0; i < n; i++ {
 		if !scanner.Scan() {
@@ -247,7 +253,8 @@ func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, n int) boo
 		}
 		packets[i] = p
 	}
-	out := make([]engine.Result, n)
+	out := engine.GetResultBuf(n)
+	defer engine.PutResultBuf(out)
 	if bc, ok := s.classifier.(BatchClassifier); ok {
 		bc.ClassifyBatch(packets, out)
 	} else {
