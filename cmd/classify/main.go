@@ -6,12 +6,18 @@
 // Backends are selected by registry name (see internal/engine); -algo list
 // prints them.
 //
+// With -artifact the classifier is warm-started from a compiled artifact
+// (see internal/compiled) instead of being built: the rule set embedded in
+// the artifact becomes the linear-search ground truth, so this doubles as
+// the artifact round-trip checker CI runs.
+//
 // Example:
 //
 //	genrules -family acl1 -size 1000 -out acl.rules -trace 100000 -traceout acl.trace
 //	classify -rules acl.rules -trace acl.trace -algo hicuts
 //	classify -rules acl.rules -trace acl.trace -algo neurocuts -timesteps 20000
 //	classify -family fw1 -algo tss -batch 512 -shards 8
+//	neurocuts -family acl1 -save-artifact policy.ncaf && classify -artifact policy.ncaf
 package main
 
 import (
@@ -22,6 +28,7 @@ import (
 	"time"
 
 	"neurocuts/internal/classbench"
+	"neurocuts/internal/compiled"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/packet"
 	"neurocuts/internal/rule"
@@ -40,34 +47,62 @@ func main() {
 		batch     = flag.Int("batch", 1024, "batch size for the sharded throughput pass (0 disables)")
 		shards    = flag.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 1, "random seed")
+		artifact  = flag.String("artifact", "", "warm-start from this compiled classifier artifact instead of building")
+		artVer    = flag.Bool("artifact-version", false, "print the compiled artifact schema version and exit")
 	)
 	flag.Parse()
 
+	if *artVer {
+		fmt.Println(compiled.SchemaVersion)
+		return
+	}
 	if strings.ToLower(*algo) == "list" {
 		fmt.Println("registered backends:", strings.Join(engine.Backends(), ", "))
 		return
 	}
 
-	set, err := loadClassifier(*rulesPath, *family, *size, *seed)
-	if err != nil {
-		fatal(err)
+	opts := engine.Options{Binth: *binth, Timesteps: *timesteps, Seed: *seed, Shards: *shards}
+	var (
+		eng *engine.Engine
+		set *rule.Set
+		err error
+	)
+	start := time.Now()
+	if *artifact != "" {
+		eng, err = engine.NewEngineFromArtifact(*artifact, opts)
+		if err != nil {
+			fatal(err)
+		}
+		// The artifact's embedded rule set is the ground truth below.
+		set = eng.Rules()
+	} else {
+		set, err = loadClassifier(*rulesPath, *family, *size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		eng, err = engine.NewEngine(strings.ToLower(*algo), set, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
+	buildTime := time.Since(start)
 	trace, err := loadTrace(*tracePath, set, *traceN, *seed)
 	if err != nil {
 		fatal(err)
 	}
 
-	opts := engine.Options{Binth: *binth, Timesteps: *timesteps, Seed: *seed, Shards: *shards}
-	start := time.Now()
-	eng, err := engine.NewEngine(strings.ToLower(*algo), set, opts)
-	if err != nil {
-		fatal(err)
-	}
-	buildTime := time.Since(start)
 	m := eng.Metrics()
-	fmt.Printf("built %s over %d rules in %s\n", engine.DisplayName(eng.Backend()), set.Len(), buildTime.Round(time.Millisecond))
+	if *artifact != "" {
+		fmt.Printf("loaded %s artifact %s (%d rules) in %s — no build/train path invoked\n",
+			engine.DisplayName(eng.Backend()), *artifact, set.Len(), buildTime.Round(time.Millisecond))
+	} else {
+		fmt.Printf("built %s over %d rules in %s\n", engine.DisplayName(eng.Backend()), set.Len(), buildTime.Round(time.Millisecond))
+	}
 	fmt.Printf("  lookup cost (worst-case sequential steps): %d\n", m.LookupCost)
 	fmt.Printf("  memory: %d bytes (%.1f bytes/rule), %d stored entries\n", m.MemoryBytes, m.BytesPerRule, m.Entries)
+	if m.CompiledBytes > 0 {
+		fmt.Printf("  compiled serve form: %d bytes\n", m.CompiledBytes)
+	}
 
 	// Single-packet pass, checking each result against the ground truth (or
 	// against linear search when the trace has no ground truth).

@@ -8,20 +8,34 @@
 //
 //	classifyd -family fw1 -size 1000 -algo hicuts -listen 127.0.0.1:9099
 //
+// Warm-start from a compiled classifier artifact instead of building — the
+// first lookup is served straight from the loaded flat-array form, no
+// backend build or train path runs:
+//
+//	classifyd -artifact policy.ncaf -listen 127.0.0.1:9099
+//
 // Query it (IPs may be dotted quads or decimal):
 //
 //	classifyd -query 127.0.0.1:9099 -packet "10.0.0.1 192.168.1.1 1234 80 6"
 //
-// Update it live (ClassBench rule format; pos 0 = top priority):
+// Update it live (ClassBench rule format; pos 0 = top priority), or manage
+// artifacts on the serving side:
 //
 //	classifyd -query 127.0.0.1:9099 -add "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF" -pos 0
 //	classifyd -query 127.0.0.1:9099 -del 17
+//	classifyd -query 127.0.0.1:9099 -save /var/lib/classifyd/policy.ncaf
+//	classifyd -query 127.0.0.1:9099 -load /var/lib/classifyd/policy.ncaf
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: in-flight (batch)
+// requests are drained and answered before the process exits 0.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"os/signal"
 	"strings"
@@ -35,71 +49,105 @@ import (
 )
 
 func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	if err := run(os.Args[1:], sig, os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+// onListen, when set (by tests), receives the bound listen address.
+var onListen func(net.Addr)
+
+// run is the daemon body, factored out of main so tests can drive it with
+// their own signal channel and capture its output. It returns nil on a
+// clean (drained) shutdown.
+func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
+	fs := flag.NewFlagSet("classifyd", flag.ExitOnError)
 	var (
-		rulesPath = flag.String("rules", "", "classifier file in ClassBench format")
-		family    = flag.String("family", "acl1", "ClassBench family to generate when -rules is not given")
-		size      = flag.Int("size", 1000, "classifier size when generating")
-		seed      = flag.Int64("seed", 1, "random seed")
-		algo      = flag.String("algo", "hicuts", "backend name (see internal/engine), or 'list'")
-		timesteps = flag.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
-		binth     = flag.Int("binth", 16, "leaf threshold for tree backends")
-		shards    = flag.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
-		listen    = flag.String("listen", "127.0.0.1:9099", "address to serve on")
-		query     = flag.String("query", "", "query a running server at this address instead of serving")
-		packetStr = flag.String("packet", "", "packet to query: \"src dst sport dport proto\"")
-		addRule   = flag.String("add", "", "ClassBench rule line to insert live (with -query)")
-		pos       = flag.Int("pos", 0, "priority position for -add (0 = top)")
-		delID     = flag.Int("del", -1, "rule ID to delete live (with -query)")
+		rulesPath = fs.String("rules", "", "classifier file in ClassBench format")
+		family    = fs.String("family", "acl1", "ClassBench family to generate when -rules is not given")
+		size      = fs.Int("size", 1000, "classifier size when generating")
+		seed      = fs.Int64("seed", 1, "random seed")
+		algo      = fs.String("algo", "hicuts", "backend name (see internal/engine), or 'list'")
+		timesteps = fs.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
+		binth     = fs.Int("binth", 16, "leaf threshold for tree backends")
+		shards    = fs.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
+		artifact  = fs.String("artifact", "", "warm-start: serve this compiled classifier artifact instead of building")
+		listen    = fs.String("listen", "127.0.0.1:9099", "address to serve on")
+		drain     = fs.Duration("drain-timeout", 5*time.Second, "max time to drain in-flight requests on shutdown")
+		query     = fs.String("query", "", "query a running server at this address instead of serving")
+		packetStr = fs.String("packet", "", "packet to query: \"src dst sport dport proto\"")
+		addRule   = fs.String("add", "", "ClassBench rule line to insert live (with -query)")
+		pos       = fs.Int("pos", 0, "priority position for -add (0 = top)")
+		delID     = fs.Int("del", -1, "rule ID to delete live (with -query)")
+		savePath  = fs.String("save", "", "ask the server to save its classifier as an artifact at this path (with -query)")
+		loadPath  = fs.String("load", "", "ask the server to hot-swap in the artifact at this path (with -query)")
 	)
-	flag.Parse()
+	fs.Parse(args)
 
 	if strings.ToLower(*algo) == "list" {
-		fmt.Println("registered backends:", strings.Join(engine.Backends(), ", "))
-		return
+		fmt.Fprintln(stdout, "registered backends:", strings.Join(engine.Backends(), ", "))
+		return nil
 	}
 
 	if *query != "" {
-		if err := runQuery(*query, *packetStr, *addRule, *pos, *delID); err != nil {
-			fatal(err)
-		}
-		return
+		return runQuery(stdout, *query, *packetStr, *addRule, *pos, *delID, *savePath, *loadPath)
 	}
 
-	set, err := loadClassifier(*rulesPath, *family, *size, *seed)
-	if err != nil {
-		fatal(err)
+	var eng *engine.Engine
+	if *artifact != "" {
+		var err error
+		eng, err = engine.NewEngineFromArtifact(*artifact, engine.Options{Shards: *shards})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "classifyd: warm start from %s (%s, %d rules) — no build/train path invoked\n",
+			*artifact, engine.DisplayName(eng.Backend()), eng.Rules().Len())
+	} else {
+		set, err := loadClassifier(*rulesPath, *family, *size, *seed)
+		if err != nil {
+			return err
+		}
+		eng, err = engine.NewEngine(strings.ToLower(*algo), set, engine.Options{
+			Binth:     *binth,
+			Timesteps: *timesteps,
+			Seed:      *seed,
+			Shards:    *shards,
+		})
+		if err != nil {
+			return err
+		}
 	}
-	eng, err := engine.NewEngine(strings.ToLower(*algo), set, engine.Options{
-		Binth:     *binth,
-		Timesteps: *timesteps,
-		Seed:      *seed,
-		Shards:    *shards,
-	})
-	if err != nil {
-		fatal(err)
-	}
+	defer eng.Close()
 
 	srv := server.New(eng)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("classifyd: serving %s engine (%d rules, %s) on %s\n",
-		engine.DisplayName(eng.Backend()), set.Len(), *family, addr)
+	fmt.Fprintf(stdout, "classifyd: serving %s engine (%d rules) on %s\n",
+		engine.DisplayName(eng.Backend()), eng.Rules().Len(), addr)
+	if onListen != nil {
+		onListen(addr)
+	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("classifyd: shutting down")
-	if err := srv.Close(); err != nil {
-		fatal(err)
+	fmt.Fprintln(stdout, "classifyd: shutting down, draining in-flight requests")
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// A missed drain deadline force-closed stragglers; the daemon still
+		// exits cleanly, but say what happened.
+		fmt.Fprintf(stdout, "classifyd: drain timeout expired, closed remaining connections (%v)\n", err)
 	}
 	st := srv.Stats()
-	fmt.Printf("classifyd: served %d requests (%d matches, %d parse failures), final rule-set version %d\n",
+	fmt.Fprintf(stdout, "classifyd: served %d requests (%d matches, %d parse failures), final rule-set version %d\n",
 		st.Requests, st.Matches, st.ParseFails, eng.Version())
+	return nil
 }
 
-func runQuery(addr, packetStr, addRule string, pos, delID int) error {
+func runQuery(stdout io.Writer, addr, packetStr, addRule string, pos, delID int, savePath, loadPath string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	client, err := server.Dial(ctx, addr)
@@ -114,14 +162,27 @@ func runQuery(addr, packetStr, addRule string, pos, delID int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("added rule id=%d at position %d (version %d)\n", id, pos, version)
+		fmt.Fprintf(stdout, "added rule id=%d at position %d (version %d)\n", id, pos, version)
 		return nil
 	case delID >= 0:
 		version, err := client.DeleteRule(delID)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("deleted rule id=%d (version %d)\n", delID, version)
+		fmt.Fprintf(stdout, "deleted rule id=%d (version %d)\n", delID, version)
+		return nil
+	case savePath != "":
+		if err := client.SaveArtifact(savePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "server saved artifact to %s\n", savePath)
+		return nil
+	case loadPath != "":
+		version, rules, err := client.LoadArtifact(loadPath)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "server loaded artifact %s (version %d, %d rules)\n", loadPath, version, rules)
 		return nil
 	case packetStr != "":
 		key, err := server.ParseRequest(packetStr)
@@ -133,13 +194,13 @@ func runQuery(addr, packetStr, addRule string, pos, delID int) error {
 			return err
 		}
 		if !ok {
-			fmt.Println("no-match")
+			fmt.Fprintln(stdout, "no-match")
 			return nil
 		}
-		fmt.Printf("match rule id=%d priority=%d\n", id, priority)
+		fmt.Fprintf(stdout, "match rule id=%d priority=%d\n", id, priority)
 		return nil
 	default:
-		return fmt.Errorf("-query needs one of -packet, -add or -del")
+		return fmt.Errorf("-query needs one of -packet, -add, -del, -save or -load")
 	}
 }
 

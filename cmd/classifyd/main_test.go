@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/compiled"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/server"
+)
+
+// syncBuffer makes run's stdout safe to read while the daemon goroutine
+// still writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startDaemon runs the classifyd body in a goroutine and returns the bound
+// address, the signal channel that stops it, and a channel with its return
+// value.
+func startDaemon(t *testing.T, args []string) (net.Addr, chan os.Signal, <-chan error, *syncBuffer) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { onListen = nil })
+
+	sig := make(chan os.Signal, 1)
+	errCh := make(chan error, 1)
+	out := &syncBuffer{}
+	go func() { errCh <- run(args, sig, out) }()
+
+	select {
+	case addr := <-addrCh:
+		return addr, sig, errCh, out
+	case err := <-errCh:
+		t.Fatalf("daemon exited before listening: %v\noutput:\n%s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not start listening within 30s")
+	}
+	return nil, nil, nil, nil
+}
+
+func dialDaemon(t *testing.T, addr net.Addr) *server.Client {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := server.Dial(ctx, addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestGracefulShutdown: SIGTERM must drain in-flight work and return nil
+// (exit 0) even while a client stays connected and idle.
+func TestGracefulShutdown(t *testing.T) {
+	addr, sig, errCh, out := startDaemon(t, []string{
+		"-family", "acl1", "-size", "150", "-algo", "hicuts", "-listen", "127.0.0.1:0",
+	})
+	client := dialDaemon(t, addr)
+
+	// Serve a batch fully, then leave the connection open and idle.
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 150, 1)
+	var packets []rule.Packet
+	for _, e := range classbench.GenerateTrace(set, 500, 3) {
+		packets = append(packets, e.Key)
+	}
+	results, err := client.ClassifyBatch(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(packets) {
+		t.Fatalf("batch answered %d/%d packets", len(results), len(packets))
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited non-cleanly: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down within 10s of SIGTERM\noutput:\n%s", out.String())
+	}
+}
+
+// TestArtifactWarmStart is the acceptance test for `classifyd -artifact`:
+// the artifact's backend name is deliberately one that is NOT in the engine
+// registry, so if any backend build or train path were invoked the daemon
+// could not start at all — serving the first lookup correctly proves the
+// warm start runs build-free.
+func TestArtifactWarmStart(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 200, 4)
+	tr, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := compiled.Compile(set, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "warm.ncaf")
+	meta := compiled.Metadata{Backend: "warmstart-unregistered-backend", Rules: set.Len(), Binth: 16}
+	if err := compiled.SaveFile(path, cc, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, sig, errCh, out := startDaemon(t, []string{
+		"-artifact", path, "-listen", "127.0.0.1:0",
+	})
+	client := dialDaemon(t, addr)
+
+	// First lookups come straight from the artifact.
+	mismatches := 0
+	for _, e := range classbench.GenerateTrace(set, 500, 8) {
+		want := set.MatchIndex(e.Key)
+		_, prio, ok, err := client.Classify(e.Key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := -1
+		if ok {
+			got = prio
+		}
+		if got != want {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d warm-start lookups diverge from linear search", mismatches)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited non-cleanly: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down within 10s of SIGTERM")
+	}
+}

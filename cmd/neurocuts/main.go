@@ -6,6 +6,12 @@
 //
 //	neurocuts -family fw5 -size 1000 -c 1 -partition none -timesteps 50000
 //	neurocuts -rules my.rules -c 0 -scale log -partition efficuts -checkpoint policy.ckpt
+//
+// With -save-artifact the best tree is compiled into the flat-array serving
+// form and written as a versioned artifact, so a later `classify -artifact`
+// or `classifyd -artifact` serves it without retraining:
+//
+//	neurocuts -family acl1 -size 1000 -timesteps 50000 -save-artifact policy.ncaf
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"neurocuts/internal/classbench"
+	"neurocuts/internal/compiled"
 	"neurocuts/internal/core"
 	"neurocuts/internal/env"
 	"neurocuts/internal/rule"
@@ -38,6 +45,7 @@ func main() {
 		workers    = flag.Int("workers", 4, "parallel rollout workers")
 		hidden     = flag.String("hidden", "64,64", "hidden layer sizes, comma separated")
 		checkpoint = flag.String("checkpoint", "", "write the trained policy to this file")
+		saveArt    = flag.String("save-artifact", "", "compile the best tree and write it as a classifier artifact")
 		quiet      = flag.Bool("quiet", false, "suppress per-iteration progress")
 	)
 	flag.Parse()
@@ -104,6 +112,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("policy checkpoint written to %s\n", *checkpoint)
+	}
+
+	if *saveArt != "" {
+		cc, err := compiled.Compile(set, best)
+		if err != nil {
+			fatal(err)
+		}
+		meta := compiled.Metadata{
+			Backend:     "neurocuts",
+			Rules:       set.Len(),
+			Binth:       *binth,
+			Source:      name,
+			CreatedUnix: time.Now().Unix(),
+		}
+		if err := compiled.SaveFile(*saveArt, cc, meta); err != nil {
+			fatal(err)
+		}
+		st := cc.Stats()
+		fmt.Printf("compiled artifact written to %s (%d nodes, %d rule refs, %d bytes serve form, schema v%d)\n",
+			*saveArt, st.Nodes, st.LeafRuleRefs, st.MemoryBytes, compiled.SchemaVersion)
 	}
 }
 

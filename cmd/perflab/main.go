@@ -35,6 +35,8 @@ func main() {
 		runCmd(os.Args[2:], "BENCH_baseline.json")
 	case "compare":
 		compareCmd(os.Args[2:])
+	case "checkcompiled":
+		checkCompiledCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -46,11 +48,14 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  perflab run      [grid flags] [-out FILE] [-split -dir DIR] [-table]
-  perflab baseline [grid flags] [-out FILE]   (same as run; defaults to BENCH_baseline.json)
-  perflab compare  -old FILE -new FILE [threshold flags]
+  perflab run           [grid flags] [-out FILE] [-split -dir DIR] [-table]
+  perflab baseline      [grid flags] [-out FILE]   (same as run; defaults to BENCH_baseline.json)
+  perflab compare       -old FILE -new FILE [threshold flags]
+  perflab checkcompiled [-in FILE]   assert compiled lookup p50 <= legacy p50 per pair
 
-run 'perflab run -h' or 'perflab compare -h' for flags`)
+run 'perflab run -h' or 'perflab compare -h' for flags.
+The compiled-vs-legacy grid: perflab run -families acl1 -sizes 300 -skews uniform \
+  -churns readonly -backends hicuts,hypercuts,efficuts,cutsplit -lookups compiled,legacy`)
 }
 
 // runCmd implements both `run` and `baseline` (they differ only in the
@@ -65,6 +70,7 @@ func runCmd(args []string, defaultOut string) {
 		skews    = fs.String("skews", "uniform,zipf", "comma-separated traffic skews (uniform, zipf)")
 		churns   = fs.String("churns", "readonly,churn", "comma-separated update modes (readonly, churn)")
 		backends = fs.String("backends", strings.Join(ciGrid.Backends, ","), "comma-separated engine backends")
+		lookups  = fs.String("lookups", "", "optional serving axis for tree backends: compiled,legacy (empty = default compiled cells)")
 		seed     = fs.Int64("seed", ciCfg.Seed, "random seed")
 		ops      = fs.Int("ops", ciCfg.Ops, "measured lookups per cell")
 		runs     = fs.Int("runs", ciCfg.Runs, "measurement passes per cell (best-of)")
@@ -90,6 +96,7 @@ func runCmd(args []string, defaultOut string) {
 		Skews:    toSkews(splitCSV(*skews)),
 		Churns:   toChurns(splitCSV(*churns)),
 		Backends: splitCSV(*backends),
+		Lookups:  toLookups(splitCSV(*lookups)),
 	}
 	cfg := perf.RunConfig{
 		Seed: *seed, Ops: *ops, Runs: *runs, Warmup: *warmup, Packets: *packets,
@@ -154,6 +161,55 @@ func compareCmd(args []string) {
 	}
 }
 
+// checkCompiledCmd asserts the compiled runtime's headline claim over a
+// report produced with -lookups compiled,legacy: per scenario pair, the
+// compiled lookup's p50 must not exceed the legacy pointer tree's. Latency
+// measurement is noisy (especially on shared CI runners), so on violation
+// the grid embedded in the report is re-measured up to -retries times — a
+// genuine regression loses every attempt, one-sided scheduler noise does
+// not. Exits 2 when violations persist (or the report has no pairs), so CI
+// can gate on it.
+func checkCompiledCmd(args []string) {
+	fs := flag.NewFlagSet("checkcompiled", flag.ExitOnError)
+	in := fs.String("in", "BENCH_compiled.json", "report produced with -lookups compiled,legacy")
+	retries := fs.Int("retries", 2, "re-measure the report's grid up to this many times on violation")
+	fs.Parse(args)
+
+	rep, err := perf.ReadArtifact(*in)
+	if err != nil {
+		fatal(err)
+	}
+	var pairs []perf.CompiledComparison
+	var violations []string
+	for attempt := 0; ; attempt++ {
+		pairs, violations = perf.CheckCompiledWins(rep)
+		if len(violations) == 0 || len(pairs) == 0 || attempt >= *retries {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "perflab: attempt %d/%d had %d violation(s), re-measuring: %s\n",
+			attempt+1, *retries+1, len(violations), strings.Join(violations, "; "))
+		rep, err = perf.Run(rep.Grid, rep.Config, nil)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	for _, p := range pairs {
+		verdict := "ok"
+		if !p.Win {
+			verdict = "REGRESSION"
+		}
+		fmt.Printf("%-45s compiled p50 %8.0fns  legacy p50 %8.0fns  %s\n",
+			p.Name(), p.Compiled.Metrics.P50Nanos, p.Legacy.Metrics.P50Nanos, verdict)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "perflab: %d compiled-lookup violation(s):\n", len(violations))
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  "+v)
+		}
+		os.Exit(2)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "perflab:", err)
 	os.Exit(1)
@@ -201,6 +257,14 @@ func toChurns(ss []string) []perf.Churn {
 	out := make([]perf.Churn, len(ss))
 	for i, s := range ss {
 		out[i] = perf.Churn(s)
+	}
+	return out
+}
+
+func toLookups(ss []string) []perf.LookupMode {
+	out := make([]perf.LookupMode, len(ss))
+	for i, s := range ss {
+		out[i] = perf.LookupMode(s)
 	}
 	return out
 }

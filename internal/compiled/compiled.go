@@ -1,0 +1,249 @@
+// Package compiled is the immutable, cache-friendly serving representation
+// shared by every tree-based classification backend in this repository
+// (NeuroCuts, HiCuts, HyperCuts, EffiCuts, CutSplit).
+//
+// The build-time representation (internal/tree) is a pointer-linked tree:
+// convenient to grow one action at a time, but hostile to the serve path —
+// every step of a lookup chases a pointer, leaves hold their own rule slices,
+// and partition nodes force recursion. Compile flattens one or more finished
+// trees into contiguous arrays:
+//
+//   - nodes live in one []node slab in BFS order, children of a node are a
+//     contiguous index span (child indices are always greater than the
+//     parent's, so traversal provably terminates);
+//   - leaves reference rules as spans into one shared []uint32 slab of
+//     indices into the classifier's rule list, so rule replication costs 4
+//     bytes per reference instead of a 96-byte rule copy;
+//   - cut geometry (origin, step, fan-out per dimension) is stored in flat
+//     descriptor arrays, and rules are additionally packed into a 32-byte
+//     match-only form so the leaf scan touches nothing but small integers.
+//
+// Lookup is iterative and allocation-free: a fixed-size index stack replaces
+// recursion (partition nodes and multi-tree classifiers push work onto it),
+// sized at compile time so the fallback heap path is never taken for
+// real-world trees.
+//
+// The compiled form is also the repository's on-disk artifact: Save/Load
+// give it a versioned, length-prefixed, checksummed binary encoding so a
+// tree trained or built once can be served by later processes without
+// rebuilding (see format.go).
+package compiled
+
+import (
+	"neurocuts/internal/rule"
+)
+
+// Node kinds of the flat representation.
+const (
+	// kindLeaf scans its rule span linearly.
+	kindLeaf uint8 = iota
+	// kindCut locates one child arithmetically from equal-sized cut geometry
+	// (possibly over several dimensions at once).
+	kindCut
+	// kindCustomCut locates one child by binary search over explicit
+	// boundary points in a single dimension (equi-dense cuts).
+	kindCustomCut
+	// kindPartition pushes every child: each holds a disjoint rule subset
+	// over the same box, so all must be consulted.
+	kindPartition
+
+	kindMax = kindPartition
+)
+
+// node is one flat tree node. The a/b fields are overloaded by kind:
+// leaves use them as a span into the leaf-rule slab, internal nodes as a
+// span of child node indices.
+type node struct {
+	kind uint8
+	// ndims is the cut-dimension count for kindCut and the single cut
+	// dimension index for kindCustomCut; unused otherwise.
+	ndims uint8
+	// a is the first leaf-rule index (leaf) or first child node index.
+	a uint32
+	// b is the leaf-rule count (leaf) or child count.
+	b uint32
+	// cut is the first cut-descriptor index (kindCut) or the first boundary
+	// point index (kindCustomCut).
+	cut uint32
+	// cutN is the boundary point count for kindCustomCut.
+	cutN uint32
+}
+
+// cutDesc describes an equal-sized cut in one dimension: piece index is
+// (v - lo) / step, clamped to count-1 so the final remainder piece absorbs
+// the tail (mirroring tree.splitRange's layout exactly).
+type cutDesc struct {
+	lo    uint64
+	step  uint64
+	count uint32
+	dim   uint8
+}
+
+// packedRule is the match-only projection of a rule: 32 bytes of unsigned
+// bounds plus the priority, laid out so a leaf scan compares machine words
+// without touching the full 96-byte rule.Rule.
+type packedRule struct {
+	srcLo, srcHi uint32
+	dstLo, dstHi uint32
+	prio         int32
+	spLo, spHi   uint16
+	dpLo, dpHi   uint16
+	prLo, prHi   uint8
+}
+
+// Classifier is the immutable compiled form of one classifier: one or more
+// flattened decision trees over a shared rule list. It is safe for
+// concurrent use; all fields are read-only after Compile or Load.
+type Classifier struct {
+	// rules is the full classifier in priority order (what Lookup returns).
+	rules []rule.Rule
+	// packed is rules projected to the match-only form, index-aligned.
+	packed []packedRule
+	// nodes is the flat node slab across all trees, children contiguous.
+	nodes []node
+	// leafRules is the shared slab of rule indices referenced by leaves.
+	leafRules []uint32
+	// cutDescs holds equal-cut geometry spans referenced by kindCut nodes.
+	cutDescs []cutDesc
+	// cutPoints holds boundary spans referenced by kindCustomCut nodes.
+	cutPoints []uint64
+	// roots indexes the root node of each compiled tree.
+	roots []uint32
+
+	stats Stats
+}
+
+// Stats summarises a compiled classifier's structure.
+type Stats struct {
+	// Nodes and Leaves count the flat nodes.
+	Nodes  int
+	Leaves int
+	// Roots is the number of compiled trees (EffiCuts/CutSplit build
+	// several; single-tree backends have 1).
+	Roots int
+	// Rules is the size of the shared rule list.
+	Rules int
+	// LeafRuleRefs is the total number of leaf rule references (RuleRefs /
+	// Rules is the replication factor).
+	LeafRuleRefs int
+	// MaxStack is the worst-case traversal stack occupancy, computed at
+	// compile time; lookups below lookupStackSize run allocation-free.
+	MaxStack int
+	// WorstCaseVisits is the worst-case number of node visits per lookup
+	// (max over cut children, sum over partition children and roots).
+	WorstCaseVisits int
+	// MemoryBytes is the actual byte size of the serving arrays (nodes,
+	// leaf-rule slab, cut geometry, packed rules), excluding the full
+	// rule.Rule list kept for returning matches.
+	MemoryBytes int
+}
+
+// Stats returns the classifier's structural summary.
+func (c *Classifier) Stats() Stats { return c.stats }
+
+// Rules returns the classifier's rule list in priority order. The slice
+// must not be modified.
+func (c *Classifier) Rules() []rule.Rule { return c.rules }
+
+// RuleSet reconstructs a rule.Set over the classifier's rules, preserving
+// priorities and IDs. Engine warm starts use it as the update base.
+func (c *Classifier) RuleSet() *rule.Set {
+	return rule.NewSetKeepPriorities(c.rules)
+}
+
+// packRules projects rules to their match-only form. Callers must have
+// validated that every range fits its dimension's width.
+func packRules(rules []rule.Rule) []packedRule {
+	out := make([]packedRule, len(rules))
+	for i, r := range rules {
+		out[i] = packedRule{
+			srcLo: uint32(r.Ranges[rule.DimSrcIP].Lo),
+			srcHi: uint32(r.Ranges[rule.DimSrcIP].Hi),
+			dstLo: uint32(r.Ranges[rule.DimDstIP].Lo),
+			dstHi: uint32(r.Ranges[rule.DimDstIP].Hi),
+			prio:  int32(r.Priority),
+			spLo:  uint16(r.Ranges[rule.DimSrcPort].Lo),
+			spHi:  uint16(r.Ranges[rule.DimSrcPort].Hi),
+			dpLo:  uint16(r.Ranges[rule.DimDstPort].Lo),
+			dpHi:  uint16(r.Ranges[rule.DimDstPort].Hi),
+			prLo:  uint8(r.Ranges[rule.DimProto].Lo),
+			prHi:  uint8(r.Ranges[rule.DimProto].Hi),
+		}
+	}
+	return out
+}
+
+// computeStats fills c.stats: sizes, worst-case lookup cost and the
+// traversal stack bound. Children always have larger indices than their
+// parent, so one reverse pass computes both bottom-up quantities.
+func (c *Classifier) computeStats() {
+	st := Stats{
+		Nodes: len(c.nodes),
+		Roots: len(c.roots),
+		Rules: len(c.rules),
+	}
+	// growth[i]: max stack slots used while processing the subtree at i
+	// (node i itself already popped). visits[i]: worst-case node visits.
+	growth := make([]int, len(c.nodes))
+	visits := make([]int, len(c.nodes))
+	for i := len(c.nodes) - 1; i >= 0; i-- {
+		nd := &c.nodes[i]
+		switch nd.kind {
+		case kindLeaf:
+			st.Leaves++
+			st.LeafRuleRefs += int(nd.b)
+			visits[i] = 1
+		case kindCut, kindCustomCut:
+			maxG, maxV := 0, 0
+			for j := uint32(0); j < nd.b; j++ {
+				ci := nd.a + j
+				if g := growth[ci]; g > maxG {
+					maxG = g
+				}
+				if v := visits[ci]; v > maxV {
+					maxV = v
+				}
+			}
+			growth[i] = maxG
+			visits[i] = 1 + maxV
+		default: // kindPartition
+			k := int(nd.b)
+			g := k // momentary occupancy right after pushing all children
+			sum := 0
+			// Children are pushed in order a..a+k-1 and popped LIFO, so the
+			// child at offset j still has j siblings below it on the stack.
+			for j := 0; j < k; j++ {
+				ci := nd.a + uint32(j)
+				if v := j + growth[ci]; v > g {
+					g = v
+				}
+				sum += visits[ci]
+			}
+			growth[i] = g
+			visits[i] = 1 + sum
+		}
+	}
+	st.MaxStack = len(c.roots)
+	for j, r := range c.roots {
+		// Roots are pushed in order and popped LIFO, like partition children.
+		if v := j + growth[r]; v > st.MaxStack {
+			st.MaxStack = v
+		}
+		st.WorstCaseVisits += visits[r]
+	}
+	st.MemoryBytes = len(c.nodes)*nodeBytes +
+		len(c.leafRules)*4 +
+		len(c.cutDescs)*cutDescBytes +
+		len(c.cutPoints)*8 +
+		len(c.packed)*packedRuleBytes +
+		len(c.roots)*4
+	c.stats = st
+}
+
+// In-memory sizes used for the MemoryBytes accounting (kept in sync with
+// the struct definitions above; padded sizes).
+const (
+	nodeBytes       = 20
+	cutDescBytes    = 24
+	packedRuleBytes = 32
+)

@@ -1,0 +1,118 @@
+package compiled
+
+import (
+	"math"
+
+	"neurocuts/internal/rule"
+)
+
+// lookupStackSize is the traversal stack capacity kept on the goroutine
+// stack. Classifiers whose compile-time MaxStack exceeds it (pathological
+// partition nesting) fall back to a heap-allocated stack; every tree this
+// repository builds stays far below the bound.
+const lookupStackSize = 128
+
+// Lookup returns the highest-priority rule matching the packet, or ok=false
+// when no rule matches. It is allocation-free and safe for concurrent use.
+func (c *Classifier) Lookup(p rule.Packet) (rule.Rule, bool) {
+	idx := c.LookupIndex(p)
+	if idx < 0 {
+		return rule.Rule{}, false
+	}
+	return c.rules[idx], true
+}
+
+// LookupIndex returns the index into Rules() of the best match, or -1.
+//
+// The traversal is iterative: cut nodes descend directly (one arithmetic
+// child computation per step), while partition nodes and the per-tree roots
+// push pending node indices onto a small stack. Leaf rule spans are sorted
+// by priority, so a leaf scan stops at the first match and whole leaves are
+// skipped once a better match is already held.
+func (c *Classifier) LookupIndex(p rule.Packet) int {
+	var stackArr [lookupStackSize]uint32
+	var stack []uint32
+	if c.stats.MaxStack <= lookupStackSize {
+		stack = stackArr[:0]
+	} else {
+		stack = make([]uint32, 0, c.stats.MaxStack)
+	}
+	stack = append(stack, c.roots...)
+
+	best := -1
+	bestPrio := int32(math.MaxInt32)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+	descend:
+		for {
+			nd := &c.nodes[cur]
+			switch nd.kind {
+			case kindCut:
+				idx := uint32(0)
+				base := nd.cut
+				for k := uint32(0); k < uint32(nd.ndims); k++ {
+					d := &c.cutDescs[base+k]
+					v := p.Field(rule.Dimension(d.dim))
+					var piece uint32
+					if v > d.lo && d.step > 0 {
+						piece = uint32((v - d.lo) / d.step)
+						if piece >= d.count {
+							// The final piece absorbs the division remainder.
+							piece = d.count - 1
+						}
+					}
+					idx = idx*d.count + piece
+				}
+				cur = nd.a + idx
+				continue descend
+
+			case kindCustomCut:
+				v := p.Field(rule.Dimension(nd.ndims))
+				pts := c.cutPoints[nd.cut : nd.cut+nd.cutN]
+				// Child index = number of boundaries <= v.
+				lo, hi := 0, len(pts)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if pts[mid] <= v {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				cur = nd.a + uint32(lo)
+				continue descend
+
+			case kindLeaf:
+				end := nd.a + nd.b
+				for i := nd.a; i < end; i++ {
+					ri := c.leafRules[i]
+					r := &c.packed[ri]
+					if r.prio >= bestPrio {
+						// Rules in a leaf are priority-sorted: nothing later
+						// in this leaf can improve on the current best.
+						break
+					}
+					if p.SrcIP < r.srcLo || p.SrcIP > r.srcHi ||
+						p.DstIP < r.dstLo || p.DstIP > r.dstHi ||
+						p.SrcPort < r.spLo || p.SrcPort > r.spHi ||
+						p.DstPort < r.dpLo || p.DstPort > r.dpHi ||
+						p.Proto < r.prLo || p.Proto > r.prHi {
+						continue
+					}
+					best = int(ri)
+					bestPrio = r.prio
+					break
+				}
+				break descend
+
+			default: // kindPartition: every child holds part of the rules.
+				for j := uint32(0); j < nd.b; j++ {
+					stack = append(stack, nd.a+j)
+				}
+				break descend
+			}
+		}
+	}
+	return best
+}

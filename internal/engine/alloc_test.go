@@ -29,10 +29,12 @@ func allocTestPackets(set *rule.Set, n int) []rule.Packet {
 	return ps
 }
 
-// zeroAllocBackends are the backends whose lookup paths must not allocate.
-// The tree backends share the same engine paths; linear and tss are the two
-// the CI allocation gate pins.
-var zeroAllocBackends = []string{"linear", "tss"}
+// zeroAllocBackends are the backends whose lookup paths must not allocate:
+// the two flat non-tree structures the CI allocation gate has always pinned
+// (linear, tss) plus compiled tree backends — hicuts (single tree,
+// equal cuts) and cutsplit (multi-root, custom cuts, traversal stack) cover
+// every instruction of the compiled Lookup path.
+var zeroAllocBackends = []string{"linear", "tss", "hicuts", "cutsplit"}
 
 // TestZeroAllocSinglePacket asserts the engine's single-packet lookup path
 // performs zero heap allocations per operation.

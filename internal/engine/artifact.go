@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"neurocuts/internal/compiled"
+)
+
+// NewEngineFromArtifact warm-starts an engine from a compiled classifier
+// artifact: it serves its first lookup straight from the loaded flat-array
+// form, without invoking any backend build or train path. The artifact's
+// backend name is resolved against the registry lazily and only matters for
+// rule updates (which rebuild); if the name is not registered, the engine
+// still serves lookups but Insert/Delete return an error.
+func NewEngineFromArtifact(path string, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	c, meta, err := compiled.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("engine: loading artifact %s: %w", path, err)
+	}
+	set := c.RuleSet()
+	cls := &compiledClassifier{c: c, m: compiledMetrics(meta.Backend, c)}
+
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{opts: opts, shards: shards}
+	e.cache = newFlowCache(opts.FlowCacheEntries, opts.FlowCacheShards)
+	var build Builder
+	if entry, err := lookupBackend(meta.Backend); err == nil {
+		build = entry.build
+	}
+	e.snap.Store(&snapshot{cls: cls, set: set, version: 1, backend: meta.Backend, build: build})
+	for _, r := range set.Rules() {
+		if r.ID >= e.nextID {
+			e.nextID = r.ID + 1
+		}
+	}
+	return e, nil
+}
+
+// ArtifactMetadata returns the metadata SaveArtifact would stamp on the
+// current snapshot.
+func (e *Engine) artifactMetadata(s *snapshot) compiled.Metadata {
+	return compiled.Metadata{
+		Backend:     s.backend,
+		Rules:       s.set.Len(),
+		Binth:       e.opts.Binth,
+		CreatedUnix: time.Now().Unix(),
+	}
+}
+
+// SaveArtifact persists the current snapshot's compiled classifier (and its
+// rule set) as a versioned artifact at path. It fails for backends that have
+// no compiled form (linear, tss, tcam) and for engines running with
+// LegacyTreeLookup.
+func (e *Engine) SaveArtifact(path string) error {
+	s := e.snap.Load()
+	cp, ok := s.cls.(CompiledProvider)
+	if !ok {
+		return fmt.Errorf("engine: backend %q has no compiled artifact form", s.backend)
+	}
+	return compiled.SaveFile(path, cp.Compiled(), e.artifactMetadata(s))
+}
+
+// LoadArtifact loads a compiled classifier artifact and atomically swaps it
+// in as the next snapshot (same RCU discipline as Insert/Delete: in-flight
+// lookups finish against the old snapshot). The engine's backend identity
+// follows the artifact's metadata.
+func (e *Engine) LoadArtifact(path string) (UpdateResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := e.snap.Load()
+	c, meta, err := compiled.LoadFile(path)
+	if err != nil {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: loading artifact %s: %w", path, err)
+	}
+	set := c.RuleSet()
+	cls := &compiledClassifier{c: c, m: compiledMetrics(meta.Backend, c)}
+	var build Builder
+	if entry, err := lookupBackend(meta.Backend); err == nil {
+		build = entry.build
+	}
+	ns := &snapshot{cls: cls, set: set, version: cur.version + 1, backend: meta.Backend, build: build}
+	e.snap.Store(ns)
+	for _, r := range set.Rules() {
+		if r.ID >= e.nextID {
+			e.nextID = r.ID + 1
+		}
+	}
+	return UpdateResult{ID: -1, Version: ns.version, Rules: set.Len()}, nil
+}

@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/compiled"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+)
+
+// saveTestArtifact builds a HiCuts tree over the set, compiles it and
+// writes an artifact stamped with the given backend name, returning the
+// path. Stamping an arbitrary backend name lets tests prove that warm
+// starts never touch the build path: an unregistered (or poisoned) backend
+// can still serve.
+func saveTestArtifact(t *testing.T, set *rule.Set, backend, dir string) string {
+	t.Helper()
+	tr, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := compiled.Compile(set, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "artifact.ncaf")
+	meta := compiled.Metadata{Backend: backend, Rules: set.Len(), Binth: 16}
+	if err := compiled.SaveFile(path, c, meta); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func artifactTestSet(t *testing.T, size int) *rule.Set {
+	t.Helper()
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classbench.Generate(fam, size, 3)
+}
+
+// poisonedErr is returned by the poisoned backend's builder; any test that
+// sees it has proven a build path ran when it must not have.
+var poisonedErr = errors.New("build path invoked")
+
+func init() {
+	// A backend whose build always fails: artifacts stamped with this name
+	// can only serve if the warm-start path truly skips building.
+	Register("poisoned-test-backend", "Poisoned", func(set *rule.Set, opts Options) (Classifier, error) {
+		return nil, poisonedErr
+	})
+}
+
+// TestWarmStartServesWithoutBuilding is the acceptance test for artifact
+// warm starts: an engine loaded from an artifact whose backend build always
+// fails must still construct and serve correct lookups — proof that no
+// backend build or train path is invoked before the first lookup.
+func TestWarmStartServesWithoutBuilding(t *testing.T) {
+	set := artifactTestSet(t, 200)
+	path := saveTestArtifact(t, set, "poisoned-test-backend", t.TempDir())
+
+	eng, err := NewEngineFromArtifact(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatalf("warm start invoked the build path: %v", err)
+	}
+	defer eng.Close()
+	if eng.Backend() != "poisoned-test-backend" {
+		t.Fatalf("backend = %q, want artifact metadata name", eng.Backend())
+	}
+	if eng.Rules().Len() != set.Len() {
+		t.Fatalf("rule set: %d rules, want %d", eng.Rules().Len(), set.Len())
+	}
+	mismatches := 0
+	for _, e := range classbench.GenerateTrace(set, 3000, 9) {
+		got := -1
+		if r, ok := eng.Classify(e.Key); ok {
+			got = r.Priority
+		}
+		if got != set.MatchIndex(e.Key) {
+			mismatches++
+		}
+	}
+	if mismatches > 0 {
+		t.Fatalf("%d lookups diverge from linear search after warm start", mismatches)
+	}
+	// Updates rebuild, so on this backend they must fail — with the
+	// poisoned builder's error, proving the build path is reached only now.
+	if _, err := eng.Insert(0, rule.NewWildcardRule(0)); !errors.Is(err, poisonedErr) {
+		t.Fatalf("Insert after poisoned warm start: err = %v, want the build-path error", err)
+	}
+}
+
+// TestWarmStartUnknownBackend: artifacts from unregistered backends serve
+// lookups but reject updates with a clear error.
+func TestWarmStartUnknownBackend(t *testing.T) {
+	set := artifactTestSet(t, 100)
+	path := saveTestArtifact(t, set, "no-such-backend", t.TempDir())
+	eng, err := NewEngineFromArtifact(path, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if r, ok := eng.Classify(rule.Packet{Proto: 6}); !ok && set.MatchIndex(rule.Packet{Proto: 6}) >= 0 {
+		t.Fatalf("lookup failed after warm start: %v %v", r, ok)
+	}
+	if _, err := eng.Insert(0, rule.NewWildcardRule(0)); err == nil || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("Insert on unknown backend: err = %v, want 'not registered'", err)
+	}
+}
+
+// TestEngineSaveLoadArtifact round-trips an engine-built classifier through
+// SaveArtifact / NewEngineFromArtifact / LoadArtifact and checks the
+// results and update behaviour are preserved.
+func TestEngineSaveLoadArtifact(t *testing.T) {
+	set := artifactTestSet(t, 250)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "hicuts.ncaf")
+
+	src, err := NewEngine("hicuts", set, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if err := src.SaveArtifact(path); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := NewEngineFromArtifact(path, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.Backend() != "hicuts" {
+		t.Fatalf("backend = %q, want hicuts", warm.Backend())
+	}
+	packets := make([]rule.Packet, 0, 2000)
+	for _, e := range classbench.GenerateTrace(set, 2000, 21) {
+		packets = append(packets, e.Key)
+	}
+	for _, p := range packets {
+		ar, aok := src.Classify(p)
+		br, bok := warm.Classify(p)
+		if aok != bok || (aok && ar.Priority != br.Priority) {
+			t.Fatalf("packet %v: built=(%v,%v) warm=(%v,%v)", p, ar.Priority, aok, br.Priority, bok)
+		}
+	}
+	// A registered backend resolves lazily, so live updates work after a
+	// warm start (they rebuild, as normal updates do).
+	res, err := warm.Insert(0, rule.NewWildcardRule(0))
+	if err != nil {
+		t.Fatalf("Insert after warm start: %v", err)
+	}
+	if res.Version != 2 || res.Rules != set.Len()+1 {
+		t.Fatalf("unexpected update result %+v", res)
+	}
+	if r, ok := warm.Classify(packets[0]); !ok || r.Priority != 0 {
+		t.Fatalf("inserted top wildcard not winning: %v %v", r, ok)
+	}
+
+	// LoadArtifact swaps the artifact back in atomically, bumping the version.
+	res, err = warm.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 3 || res.Rules != set.Len() {
+		t.Fatalf("unexpected load result %+v", res)
+	}
+	for _, p := range packets[:200] {
+		ar, aok := src.Classify(p)
+		br, bok := warm.Classify(p)
+		if aok != bok || (aok && ar.Priority != br.Priority) {
+			t.Fatalf("after LoadArtifact, packet %v diverges", p)
+		}
+	}
+}
+
+// TestSaveArtifactUnsupportedBackend: backends with no compiled form
+// refuse to save.
+func TestSaveArtifactUnsupportedBackend(t *testing.T) {
+	set := artifactTestSet(t, 50)
+	eng, err := NewEngine("linear", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := eng.SaveArtifact(filepath.Join(t.TempDir(), "x.ncaf")); err == nil {
+		t.Fatal("linear backend saved an artifact")
+	}
+	// Legacy pointer-tree mode keeps no compiled form either.
+	leg, err := NewEngine("hicuts", set, Options{Shards: 1, LegacyTreeLookup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leg.Close()
+	if err := leg.SaveArtifact(filepath.Join(t.TempDir(), "y.ncaf")); err == nil {
+		t.Fatal("legacy-mode engine saved an artifact")
+	}
+}

@@ -2,7 +2,9 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 
+	"neurocuts/internal/compiled"
 	"neurocuts/internal/core"
 	"neurocuts/internal/cutsplit"
 	"neurocuts/internal/efficuts"
@@ -32,6 +34,76 @@ func (a *adapter) ClassifyBatch(ps []rule.Packet, out []Result) {
 }
 
 func (a *adapter) Metrics() Metrics { return a.metrics() }
+
+// compiledClassifier serves lookups from the immutable flat-array form that
+// Compile produces. This is the serve path for every tree backend: the
+// pointer-linked build tree is discarded after compilation, and the same
+// object is what SaveArtifact persists and warm starts reload.
+type compiledClassifier struct {
+	c *compiled.Classifier
+	m Metrics
+}
+
+func (a *compiledClassifier) Classify(p rule.Packet) (rule.Rule, bool) { return a.c.Lookup(p) }
+
+func (a *compiledClassifier) ClassifyBatch(ps []rule.Packet, out []Result) {
+	for i, p := range ps {
+		out[i].Rule, out[i].OK = a.c.Lookup(p)
+	}
+}
+
+func (a *compiledClassifier) Metrics() Metrics { return a.m }
+
+// Compiled exposes the artifact-ready form (the CompiledProvider interface).
+func (a *compiledClassifier) Compiled() *compiled.Classifier { return a.c }
+
+// CompiledProvider is implemented by classifiers that serve from a compiled
+// flat-array form; Engine.SaveArtifact requires it.
+type CompiledProvider interface {
+	Compiled() *compiled.Classifier
+}
+
+// newTreeClassifier is the shared back half of every tree backend: compute
+// the paper's tree metrics once, then either compile the trees into the
+// flat serving form (default) or keep the pointer trees (legacy mode, for
+// the perf lab's compiled-vs-legacy axis).
+func newTreeClassifier(backend string, set *rule.Set, trees []*tree.Tree, opts Options) (Classifier, error) {
+	m := treeMetrics(backend, set.Len(), tree.MultiMetrics(trees))
+	if opts.LegacyTreeLookup {
+		classify := trees[0].Classify
+		if len(trees) > 1 {
+			classify = func(p rule.Packet) (rule.Rule, bool) { return tree.ClassifyMulti(trees, p) }
+		}
+		return &adapter{
+			classify: classify,
+			metrics:  func() Metrics { return m },
+		}, nil
+	}
+	cc, err := compiled.Compile(set, trees...)
+	if err != nil {
+		return nil, fmt.Errorf("engine: compiling %s: %w", backend, err)
+	}
+	m.CompiledBytes = cc.Stats().MemoryBytes
+	return &compiledClassifier{c: cc, m: m}, nil
+}
+
+// compiledMetrics derives engine metrics from a compiled classifier alone
+// (used when an artifact is loaded and no build-time tree metrics exist).
+func compiledMetrics(backend string, c *compiled.Classifier) Metrics {
+	st := c.Stats()
+	m := Metrics{
+		Backend:       backend,
+		Rules:         st.Rules,
+		LookupCost:    st.WorstCaseVisits,
+		MemoryBytes:   st.MemoryBytes,
+		CompiledBytes: st.MemoryBytes,
+		Entries:       st.LeafRuleRefs,
+	}
+	if m.Rules > 0 {
+		m.BytesPerRule = float64(m.MemoryBytes) / float64(m.Rules)
+	}
+	return m
+}
 
 // treeMetrics converts the shared decision-tree metrics into engine metrics.
 func treeMetrics(backend string, rules int, m tree.Metrics) Metrics {
@@ -74,10 +146,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &adapter{
-			classify: t.Classify,
-			metrics:  func() Metrics { return treeMetrics("hicuts", set.Len(), t.ComputeMetrics()) },
-		}, nil
+		return newTreeClassifier("hicuts", set, []*tree.Tree{t}, opts)
 	})
 
 	Register("hypercuts", "HyperCuts", func(set *rule.Set, opts Options) (Classifier, error) {
@@ -87,10 +156,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &adapter{
-			classify: t.Classify,
-			metrics:  func() Metrics { return treeMetrics("hypercuts", set.Len(), t.ComputeMetrics()) },
-		}, nil
+		return newTreeClassifier("hypercuts", set, []*tree.Tree{t}, opts)
 	})
 
 	Register("efficuts", "EffiCuts", func(set *rule.Set, opts Options) (Classifier, error) {
@@ -100,10 +166,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &adapter{
-			classify: c.Classify,
-			metrics:  func() Metrics { return treeMetrics("efficuts", set.Len(), c.Metrics()) },
-		}, nil
+		return newTreeClassifier("efficuts", set, c.Trees, opts)
 	})
 
 	Register("cutsplit", "CutSplit", func(set *rule.Set, opts Options) (Classifier, error) {
@@ -113,10 +176,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		return &adapter{
-			classify: c.Classify,
-			metrics:  func() Metrics { return treeMetrics("cutsplit", set.Len(), c.Metrics()) },
-		}, nil
+		return newTreeClassifier("cutsplit", set, c.Trees, opts)
 	})
 
 	Register("tss", "TSS", func(set *rule.Set, opts Options) (Classifier, error) {
@@ -180,10 +240,7 @@ func init() {
 		if t == nil {
 			return nil, errors.New("engine: neurocuts training produced no tree")
 		}
-		return &adapter{
-			classify: t.Classify,
-			metrics:  func() Metrics { return treeMetrics("neurocuts", set.Len(), t.ComputeMetrics()) },
-		}, nil
+		return newTreeClassifier("neurocuts", set, []*tree.Tree{t}, opts)
 	})
 }
 

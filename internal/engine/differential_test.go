@@ -4,36 +4,40 @@ import (
 	"testing"
 
 	"neurocuts/internal/classbench"
+	"neurocuts/internal/compiled"
+	"neurocuts/internal/core"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/efficuts"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/hypercuts"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
 )
 
-// TestDifferentialAllBackends is the cross-backend property test: every
-// registered backend must classify a large random packet sample exactly like
-// reference linear search (same matched-rule priority, same no-match set).
-// Because backends register themselves in the engine registry, any backend
-// added in the future is picked up automatically.
-//
-// The sample mixes rule-directed packets (GenerateTrace samples inside rule
-// boxes, so overlapping-rule tie-breaks are exercised) with uniform packets
-// (which exercise the no-match path). Everything is seeded, so a failure
-// reproduces deterministically.
-func TestDifferentialAllBackends(t *testing.T) {
+// diffSample is one family's differential workload: a classifier, a packet
+// sample and the linear-search ground truth.
+type diffSample struct {
+	set     *rule.Set
+	family  string
+	packets []rule.Packet
+	want    []int // matched rule priority, -1 for no match
+}
+
+// differentialSamples builds the shared 12k-packet workload: per family,
+// rule-directed packets (GenerateTrace samples inside rule boxes, so
+// overlapping-rule tie-breaks are exercised) plus uniform packets (the
+// no-match path). Everything is seeded, so failures reproduce.
+func differentialSamples(t *testing.T) []diffSample {
+	t.Helper()
 	const (
 		seed        = 42
 		rulesPerSet = 250
-		perFamily   = 6000 // 5000 directed + 1000 uniform, x2 families >= 10k packets
+		perFamily   = 6000 // 5000 directed + 1000 uniform, x2 families >= 12k packets
 	)
-	scenarios := []string{"acl1", "fw1"}
-
-	type sample struct {
-		set     *rule.Set
-		family  string
-		packets []rule.Packet
-		want    []int // matched rule priority, -1 for no match
-	}
-	var samples []sample
+	var samples []diffSample
 	total := 0
-	for _, family := range scenarios {
+	for _, family := range []string{"acl1", "fw1"} {
 		fam, err := classbench.FamilyByName(family)
 		if err != nil {
 			t.Fatal(err)
@@ -51,17 +55,29 @@ func TestDifferentialAllBackends(t *testing.T) {
 			want[i] = set.MatchIndex(p) // == matched rule's priority, or -1
 		}
 		total += len(packets)
-		samples = append(samples, sample{set: set, family: family, packets: packets, want: want})
+		samples = append(samples, diffSample{set: set, family: family, packets: packets, want: want})
 	}
-	if total < 10000 {
+	if total < 12000 {
 		t.Fatalf("sample too small: %d packets", total)
 	}
+	return samples
+}
+
+// TestDifferentialAllBackends is the cross-backend property test: every
+// registered backend must classify a large random packet sample exactly like
+// reference linear search (same matched-rule priority, same no-match set).
+// Because backends register themselves in the engine registry, any backend
+// added in the future is picked up automatically. Tree backends serve from
+// the compiled flat-array form here, so this also exercises the full
+// build -> compile -> serve pipeline through the sharded Engine runtime.
+func TestDifferentialAllBackends(t *testing.T) {
+	samples := differentialSamples(t)
 
 	// Keep the learned backend affordable in the unit-test budget; every
 	// other backend builds deterministically from the rule set alone.
-	opts := Options{Timesteps: 600, Workers: 2, Seed: seed}
+	opts := Options{Timesteps: 600, Workers: 2, Seed: 42}
 
-	for _, backend := range Backends() {
+	for _, backend := range realBackends() {
 		backend := backend
 		t.Run(backend, func(t *testing.T) {
 			if backend == "neurocuts" && testing.Short() {
@@ -96,5 +112,100 @@ func TestDifferentialAllBackends(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// buildBackendTrees constructs each tree backend's pointer trees directly
+// (bypassing the engine), so the compiled form can be compared against the
+// original pointer-tree traversal it replaced.
+func buildBackendTrees(t *testing.T, set *rule.Set, opts Options) map[string][]*tree.Tree {
+	t.Helper()
+	out := map[string][]*tree.Tree{}
+
+	hcfg := hicuts.DefaultConfig()
+	ht, err := hicuts.Build(set, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["hicuts"] = []*tree.Tree{ht}
+
+	ycfg := hypercuts.DefaultConfig()
+	yt, err := hypercuts.Build(set, ycfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["hypercuts"] = []*tree.Tree{yt}
+
+	ec, err := efficuts.Build(set, efficuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["efficuts"] = ec.Trees
+
+	cs, err := cutsplit.Build(set, cutsplit.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["cutsplit"] = cs.Trees
+
+	if !testing.Short() {
+		cfg := core.Scaled(1000)
+		cfg.MaxTimesteps = opts.Timesteps
+		cfg.BatchTimesteps = maxInt(256, opts.Timesteps/10)
+		cfg.Workers = opts.Workers
+		cfg.Seed = opts.Seed
+		cfg.Partition = env.PartitionNone
+		trainer := core.NewTrainer(set, cfg)
+		if _, err := trainer.Train(); err != nil {
+			t.Fatal(err)
+		}
+		nt, _ := trainer.BestTree()
+		if nt == nil {
+			t.Fatal("neurocuts training produced no tree")
+		}
+		out["neurocuts"] = []*tree.Tree{nt}
+	}
+	return out
+}
+
+// TestDifferentialCompiledVsPointerTree is the three-way differential test
+// for every tree backend: the compiled flat-array Lookup, the original
+// pointer-tree traversal and reference linear search must agree on the full
+// 12k-packet sample.
+func TestDifferentialCompiledVsPointerTree(t *testing.T) {
+	samples := differentialSamples(t)
+	opts := Options{Timesteps: 600, Workers: 2, Seed: 42}.withDefaults()
+
+	for _, s := range samples {
+		trees := buildBackendTrees(t, s.set, opts)
+		for backend, ts := range trees {
+			cc, err := compiled.Compile(s.set, ts...)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", backend, s.family, err)
+			}
+			mismatches := 0
+			for i, p := range s.packets {
+				want := s.want[i]
+				ptr := -1
+				if r, ok := tree.ClassifyMulti(ts, p); ok {
+					ptr = r.Priority
+				}
+				comp := -1
+				if r, ok := cc.Lookup(p); ok {
+					comp = r.Priority
+				}
+				if ptr != want || comp != want {
+					mismatches++
+					if mismatches <= 5 {
+						t.Errorf("%s/%s: packet %d %v: linear=%d pointer=%d compiled=%d",
+							backend, s.family, i, p, want, ptr, comp)
+					}
+				}
+			}
+			if mismatches > 0 {
+				t.Fatalf("%s/%s: %d/%d packets diverge across the three lookup paths",
+					backend, s.family, mismatches, len(s.packets))
+			}
+		}
 	}
 }

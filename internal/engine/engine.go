@@ -59,6 +59,11 @@ type Metrics struct {
 	// TSS/TCAM entries after range expansion); Entries / Rules is the
 	// replication or expansion factor.
 	Entries int
+	// CompiledBytes is the actual footprint of the compiled flat-array
+	// serving form for tree backends (0 for backends without one, or when
+	// serving the legacy pointer tree). MemoryBytes stays the paper's
+	// modelled cost so figures remain comparable across PRs.
+	CompiledBytes int
 }
 
 // Classifier is the uniform interface every backend adapter satisfies.
@@ -73,18 +78,25 @@ type Classifier interface {
 }
 
 // snapshot is one immutable (classifier, rule set) generation. Readers load
-// it once per operation so a concurrent swap can never tear a lookup.
+// it once per operation so a concurrent swap can never tear a lookup. The
+// backend identity travels with the snapshot because LoadArtifact can swap
+// in a classifier built by a different backend.
 type snapshot struct {
 	cls     Classifier
 	set     *rule.Set
 	version uint64
+	// backend is the registry name of the backend that produced cls.
+	backend string
+	// build rebuilds the backend after a rule update. It is nil for engines
+	// warm-started from an artifact whose backend is not registered; such
+	// engines serve lookups but reject updates.
+	build Builder
 }
 
 // Engine serves a registered backend with sharded batch lookups and
 // non-blocking atomic rule updates.
 type Engine struct {
-	backend backendEntry
-	opts    Options
+	opts Options
 
 	// snap is the current read snapshot (RCU-style: writers build a new
 	// snapshot off-line and publish it with a single pointer swap).
@@ -144,9 +156,9 @@ func NewEngine(name string, set *rule.Set, opts Options) (*Engine, error) {
 	if shards <= 0 {
 		shards = runtime.GOMAXPROCS(0)
 	}
-	e := &Engine{backend: entry, opts: opts, shards: shards}
+	e := &Engine{opts: opts, shards: shards}
 	e.cache = newFlowCache(opts.FlowCacheEntries, opts.FlowCacheShards)
-	e.snap.Store(&snapshot{cls: cls, set: set, version: 1})
+	e.snap.Store(&snapshot{cls: cls, set: set, version: 1, backend: entry.name, build: entry.build})
 	for _, r := range set.Rules() {
 		if r.ID >= e.nextID {
 			e.nextID = r.ID + 1
@@ -155,8 +167,9 @@ func NewEngine(name string, set *rule.Set, opts Options) (*Engine, error) {
 	return e, nil
 }
 
-// Backend returns the engine's registry backend name.
-func (e *Engine) Backend() string { return e.backend.name }
+// Backend returns the registry name of the backend serving the current
+// snapshot.
+func (e *Engine) Backend() string { return e.snap.Load().backend }
 
 // Version returns the current snapshot's generation counter; it increases by
 // one per successful Insert or Delete.
@@ -298,16 +311,20 @@ func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.snap.Load()
+	if cur.build == nil {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: backend %q is not registered; updates unavailable on this artifact-served engine", cur.backend)
+	}
 	next := cur.set.Clone()
 	r.ID = e.nextID
 	next.Insert(pos, r)
-	cls, err := e.backend.build(next, e.opts)
+	cls, err := cur.build(next, e.opts)
 	if err != nil {
 		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
 			fmt.Errorf("engine: rebuild after insert: %w", err)
 	}
 	e.nextID++
-	ns := &snapshot{cls: cls, set: next, version: cur.version + 1}
+	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build}
 	e.snap.Store(ns)
 	return UpdateResult{ID: r.ID, Version: ns.version, Rules: next.Len()}, nil
 }
@@ -318,6 +335,10 @@ func (e *Engine) Delete(id int) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.snap.Load()
+	if cur.build == nil {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: backend %q is not registered; updates unavailable on this artifact-served engine", cur.backend)
+	}
 	idx := -1
 	for i, r := range cur.set.Rules() {
 		if r.ID == id {
@@ -331,12 +352,12 @@ func (e *Engine) Delete(id int) (UpdateResult, error) {
 	}
 	next := cur.set.Clone()
 	next.Remove(idx)
-	cls, err := e.backend.build(next, e.opts)
+	cls, err := cur.build(next, e.opts)
 	if err != nil {
 		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
 			fmt.Errorf("engine: rebuild after delete: %w", err)
 	}
-	ns := &snapshot{cls: cls, set: next, version: cur.version + 1}
+	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build}
 	e.snap.Store(ns)
 	return UpdateResult{ID: id, Version: ns.version, Rules: next.Len()}, nil
 }

@@ -1,0 +1,52 @@
+package perf
+
+import "fmt"
+
+// CompiledComparison is one compiled-vs-legacy pairing found in a report.
+type CompiledComparison struct {
+	// Compiled and Legacy are the two cells of the pair.
+	Compiled CellResult
+	Legacy   CellResult
+	// Win reports whether the compiled cell's p50 is at or below legacy's.
+	Win bool
+}
+
+// Name returns the pair's scenario stem (the cell name minus the lookup
+// suffix).
+func (c CompiledComparison) Name() string {
+	base := c.Compiled.Cell
+	base.Lookup = ""
+	return base.Name()
+}
+
+// CheckCompiledWins pairs every compiled-lookup cell in the report with its
+// legacy sibling and checks the headline claim of the compiled runtime: the
+// flat-array lookup's median latency must not exceed the pointer tree's.
+// It returns all pairings plus a violation message per losing pair; reports
+// with no pairs yield one violation (the check was asked of the wrong run).
+func CheckCompiledWins(rep Report) (pairs []CompiledComparison, violations []string) {
+	for _, cr := range rep.Cells {
+		if cr.Cell.Lookup != LookupCompiled {
+			continue
+		}
+		legacyCell := cr.Cell
+		legacyCell.Lookup = LookupLegacy
+		leg, ok := rep.CellByName(legacyCell.Name())
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: no legacy sibling cell in report", cr.Cell.Name()))
+			continue
+		}
+		pair := CompiledComparison{Compiled: cr, Legacy: leg,
+			Win: cr.Metrics.P50Nanos <= leg.Metrics.P50Nanos}
+		pairs = append(pairs, pair)
+		if !pair.Win {
+			violations = append(violations, fmt.Sprintf(
+				"%s: compiled p50 %.0fns > legacy p50 %.0fns",
+				pair.Name(), cr.Metrics.P50Nanos, leg.Metrics.P50Nanos))
+		}
+	}
+	if len(pairs) == 0 {
+		violations = append(violations, "report contains no compiled/legacy cell pairs (run a grid with lookups=compiled,legacy)")
+	}
+	return pairs, violations
+}

@@ -1,0 +1,68 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLookupAxisNames: the default (empty) lookup mode must keep canonical
+// cell names unchanged, so the committed CI baseline keeps matching, while
+// explicit modes get a distinguishing suffix.
+func TestLookupAxisNames(t *testing.T) {
+	base := Cell{Family: "acl1", Size: 300, Skew: SkewUniform, Churn: ChurnNone, Backend: "hicuts"}
+	if got := base.Name(); got != "acl1_300_uniform_readonly_hicuts" {
+		t.Fatalf("default name changed: %s", got)
+	}
+	c := base
+	c.Lookup = LookupCompiled
+	if got := c.Name(); got != "acl1_300_uniform_readonly_hicuts_compiled" {
+		t.Fatalf("compiled name: %s", got)
+	}
+	c.Lookup = LookupLegacy
+	if got := c.Name(); got != "acl1_300_uniform_readonly_hicuts_legacy" {
+		t.Fatalf("legacy name: %s", got)
+	}
+	grid := CompiledGrid()
+	cells := grid.Cells()
+	if want := len(grid.Backends) * 2; len(cells) != want {
+		t.Fatalf("CompiledGrid has %d cells, want %d", len(cells), want)
+	}
+}
+
+// TestCompiledLookupBeatsLegacy runs the pinned compiled-vs-legacy grid and
+// asserts the acceptance criterion of the compiled runtime: for every tree
+// backend, the compiled flat-array lookup's p50 is at or below the legacy
+// pointer-tree lookup's p50. Latency measurement is noisy, so the check
+// retries a bounded number of times — a genuine regression loses every
+// attempt, while one-sided scheduler noise does not.
+func TestCompiledLookupBeatsLegacy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency comparison skipped in -short mode")
+	}
+	grid := CompiledGrid()
+	cfg := RunConfig{Seed: 1, Packets: 2048, Ops: 4000, Warmup: 500, Runs: 3, BatchSize: 256, Shards: 1}
+
+	const attempts = 3
+	var lastViolations []string
+	for attempt := 1; attempt <= attempts; attempt++ {
+		rep, err := Run(grid, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs, violations := CheckCompiledWins(rep)
+		if len(pairs) != len(grid.Backends) {
+			t.Fatalf("got %d compiled/legacy pairs, want %d", len(pairs), len(grid.Backends))
+		}
+		if len(violations) == 0 {
+			for _, p := range pairs {
+				t.Logf("%s: compiled p50 %.0fns <= legacy p50 %.0fns",
+					p.Name(), p.Compiled.Metrics.P50Nanos, p.Legacy.Metrics.P50Nanos)
+			}
+			return
+		}
+		lastViolations = violations
+		t.Logf("attempt %d/%d: %s", attempt, attempts, strings.Join(violations, "; "))
+	}
+	t.Fatalf("compiled lookup slower than legacy after %d attempts:\n%s",
+		attempts, strings.Join(lastViolations, "\n"))
+}

@@ -53,7 +53,8 @@ func MeasureCell(cell Cell, cfg RunConfig) (CellResult, error) {
 	}
 	set := classbench.Generate(fam, cell.Size, cfg.Seed)
 
-	opts := engine.Options{Shards: cfg.Shards, Binth: cfg.Binth, FlowCacheEntries: cfg.FlowCacheEntries}
+	opts := engine.Options{Shards: cfg.Shards, Binth: cfg.Binth, FlowCacheEntries: cfg.FlowCacheEntries,
+		LegacyTreeLookup: cell.Lookup == LookupLegacy}
 	buildStart := time.Now()
 	eng, err := engine.NewEngine(cell.Backend, set, opts)
 	if err != nil {

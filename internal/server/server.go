@@ -19,6 +19,13 @@
 //	"add <pos> @<classbench rule line>\n" -> "ok id=<id> version=<v> rules=<n>\n"
 //	"del <ruleID>\n"                      -> "ok version=<v> rules=<n>\n"
 //
+// Compiled-artifact administration is available when the classifier
+// implements ArtifactStore (engine.Engine does, for compiled tree
+// backends):
+//
+//	"save <path>\n" -> "ok saved <path>\n"
+//	"load <path>\n" -> "ok version=<v> rules=<n>\n"
+//
 // The special request "stats\n" returns one line of server statistics and
 // "quit\n" closes the connection. One goroutine serves each connection; the
 // classifier lookup itself is read-only and shared, and updates swap in new
@@ -35,6 +42,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
@@ -62,6 +70,15 @@ type Updater interface {
 	Delete(id int) (engine.UpdateResult, error)
 }
 
+// ArtifactStore is the optional interface behind the "save" and "load"
+// admin requests: persisting the served classifier as a compiled artifact
+// and hot-swapping an artifact in (another RCU snapshot swap).
+// engine.Engine implements it for compiled tree backends.
+type ArtifactStore interface {
+	SaveArtifact(path string) error
+	LoadArtifact(path string) (engine.UpdateResult, error)
+}
+
 // MaxBatch bounds the packet count of one "batch" request.
 const MaxBatch = 65536
 
@@ -73,6 +90,11 @@ type Server struct {
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   bool
+	// conns tracks live connections so Shutdown can drain them: handlers
+	// waiting for a next request are unblocked immediately, handlers inside
+	// a request finish it first, and stragglers are force-closed when the
+	// drain context expires.
+	conns map[*servedConn]struct{}
 
 	// counters (atomic).
 	requests   atomic.Int64
@@ -114,15 +136,85 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		sc := &servedConn{Conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		if s.conns == nil {
+			s.conns = make(map[*servedConn]struct{})
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handle(conn)
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, sc)
+				s.mu.Unlock()
+			}()
+			s.handle(sc)
 		}()
 	}
 }
 
+// servedConn pairs a connection with its drain state. Draining must never
+// cut a request in half: a batch whose header has been read is always fully
+// read, classified and answered. The deadline that unblocks an idle
+// handler is therefore only armed while the handler sits between requests.
+type servedConn struct {
+	net.Conn
+	mu sync.Mutex
+	// busy is true while the handler is inside one request (reading a batch
+	// body, classifying, writing responses).
+	busy bool
+	// drainOnIdle asks the handler to exit once the current request ends.
+	drainOnIdle bool
+}
+
+// beginRequest marks the handler busy and disarms any drain deadline so the
+// request's remaining reads (a batch body) proceed unhindered.
+func (c *servedConn) beginRequest() {
+	c.mu.Lock()
+	c.busy = true
+	c.Conn.SetReadDeadline(time.Time{})
+	c.mu.Unlock()
+}
+
+// endRequest marks the handler idle again and reports whether it should
+// exit because a drain started while the request was in flight.
+func (c *servedConn) endRequest() (draining bool) {
+	c.mu.Lock()
+	c.busy = false
+	draining = c.drainOnIdle
+	c.mu.Unlock()
+	return draining
+}
+
+// drainGrace is how long an idle connection's handler keeps reading after a
+// drain starts. Requests already on the wire (a batch whose header the
+// handler has not scanned yet) are picked up and served within the grace;
+// truly idle connections exit when it expires.
+const drainGrace = 50 * time.Millisecond
+
+// drain asks the connection's handler to exit as soon as it is between
+// requests; if it is idle right now, the grace read deadline bounds how
+// long it may keep waiting for one last request.
+func (c *servedConn) drain() {
+	c.mu.Lock()
+	c.drainOnIdle = true
+	if !c.busy {
+		c.Conn.SetReadDeadline(time.Now().Add(drainGrace))
+	}
+	c.mu.Unlock()
+}
+
 // Close stops the listener and waits for in-flight connections to finish.
+// Connected idle clients keep their handlers alive, so Close can block
+// indefinitely; servers exposed to external clients should prefer Shutdown.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -134,6 +226,44 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections,
+// lets every in-flight request (including a batch mid-classification)
+// finish and be answered, unblocks handlers that are idle waiting for a
+// next request, and waits for all of them to exit. If the context expires
+// first, remaining connections are force-closed before returning the
+// context's error.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.drain()
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return err
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
 }
 
 // Stats summarises the server's request counters.
@@ -152,8 +282,10 @@ func (s *Server) Stats() Stats {
 	}
 }
 
-// handle serves one connection until EOF, "quit" or a write error.
-func (s *Server) handle(conn net.Conn) {
+// handle serves one connection until EOF, "quit", a write error or a
+// drain. Each request is bracketed by the connection's busy state so a
+// concurrent Shutdown never interrupts it mid-request.
+func (s *Server) handle(conn *servedConn) {
 	defer conn.Close()
 	scanner := bufio.NewScanner(conn)
 	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
@@ -167,40 +299,43 @@ func (s *Server) handle(conn net.Conn) {
 			w.Flush()
 			return
 		}
-		if line == "stats" {
-			st := s.Stats()
-			fmt.Fprintf(w, "stats requests=%d matches=%d parse-failures=%d\n", st.Requests, st.Matches, st.ParseFails)
-			if w.Flush() != nil {
-				return
-			}
-			continue
-		}
-		if n, ok := parseBatchHeader(line); ok {
-			if !s.handleBatch(scanner, w, n) {
-				return
-			}
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "add "); ok {
-			if !writeLine(w, s.respondAdd(rest)) {
-				return
-			}
-			continue
-		}
-		if rest, ok := strings.CutPrefix(line, "del "); ok {
-			if !writeLine(w, s.respondDel(rest)) {
-				return
-			}
-			continue
-		}
-		resp := s.respond(line)
-		if _, err := w.WriteString(resp + "\n"); err != nil {
+		conn.beginRequest()
+		ok := s.serveLine(scanner, w, line)
+		draining := conn.endRequest()
+		if !ok {
 			return
 		}
-		if w.Flush() != nil {
+		if draining {
+			w.Flush()
 			return
 		}
 	}
+}
+
+// serveLine answers one request line (reading a batch body from the
+// scanner when needed) and reports whether the connection is still usable.
+func (s *Server) serveLine(scanner *bufio.Scanner, w *bufio.Writer, line string) bool {
+	if line == "stats" {
+		st := s.Stats()
+		fmt.Fprintf(w, "stats requests=%d matches=%d parse-failures=%d\n", st.Requests, st.Matches, st.ParseFails)
+		return w.Flush() == nil
+	}
+	if n, ok := parseBatchHeader(line); ok {
+		return s.handleBatch(scanner, w, n)
+	}
+	if rest, ok := strings.CutPrefix(line, "add "); ok {
+		return writeLine(w, s.respondAdd(rest))
+	}
+	if rest, ok := strings.CutPrefix(line, "del "); ok {
+		return writeLine(w, s.respondDel(rest))
+	}
+	if rest, ok := strings.CutPrefix(line, "save "); ok {
+		return writeLine(w, s.respondSave(rest))
+	}
+	if rest, ok := strings.CutPrefix(line, "load "); ok {
+		return writeLine(w, s.respondLoad(rest))
+	}
+	return writeLine(w, s.respond(line))
 }
 
 // writeLine writes one response line, reporting whether the connection is
@@ -323,6 +458,46 @@ func (s *Server) respondDel(rest string) string {
 		return "error rule id: " + err.Error()
 	}
 	res, err := up.Delete(id)
+	if err != nil {
+		return "error " + err.Error()
+	}
+	return fmt.Sprintf("ok version=%d rules=%d", res.Version, res.Rules)
+}
+
+// respondSave handles "save <path>": persist the served classifier as a
+// compiled artifact through the ArtifactStore interface.
+func (s *Server) respondSave(rest string) string {
+	s.requests.Add(1)
+	st, ok := s.classifier.(ArtifactStore)
+	if !ok {
+		return "error classifier does not support artifacts"
+	}
+	path := strings.TrimSpace(rest)
+	if path == "" {
+		s.parseFails.Add(1)
+		return "error expected: save <path>"
+	}
+	if err := st.SaveArtifact(path); err != nil {
+		return "error " + err.Error()
+	}
+	return "ok saved " + path
+}
+
+// respondLoad handles "load <path>": hot-swap a compiled artifact in as the
+// served classifier (an RCU snapshot swap; in-flight lookups finish against
+// the old snapshot).
+func (s *Server) respondLoad(rest string) string {
+	s.requests.Add(1)
+	st, ok := s.classifier.(ArtifactStore)
+	if !ok {
+		return "error classifier does not support artifacts"
+	}
+	path := strings.TrimSpace(rest)
+	if path == "" {
+		s.parseFails.Add(1)
+		return "error expected: load <path>"
+	}
+	res, err := st.LoadArtifact(path)
 	if err != nil {
 		return "error " + err.Error()
 	}
@@ -504,6 +679,43 @@ func (c *Client) AddRule(pos int, classBenchLine string) (id int, version uint64
 		return 0, 0, fmt.Errorf("server: %s", line)
 	}
 	return id, version, nil
+}
+
+// SaveArtifact asks the server to persist its classifier as a compiled
+// artifact at path (a path on the server's filesystem).
+func (c *Client) SaveArtifact(path string) error {
+	fmt.Fprintf(c.w, "save %s\n", strings.TrimSpace(path))
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	line = strings.TrimSpace(line)
+	if !strings.HasPrefix(line, "ok saved ") {
+		return fmt.Errorf("server: %s", line)
+	}
+	return nil
+}
+
+// LoadArtifact asks the server to hot-swap the compiled artifact at path
+// (on the server's filesystem) in as the served classifier, returning the
+// new snapshot version and rule count.
+func (c *Client) LoadArtifact(path string) (version uint64, rules int, err error) {
+	fmt.Fprintf(c.w, "load %s\n", strings.TrimSpace(path))
+	if err := c.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return 0, 0, err
+	}
+	line = strings.TrimSpace(line)
+	if _, err := fmt.Sscanf(line, "ok version=%d rules=%d", &version, &rules); err != nil {
+		return 0, 0, fmt.Errorf("server: %s", line)
+	}
+	return version, rules, nil
 }
 
 // DeleteRule removes the rule with the given ID on the server and returns
