@@ -48,6 +48,7 @@ func main() {
 		shards    = flag.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		artifact  = flag.String("artifact", "", "warm-start from this compiled classifier artifact instead of building")
+		journal   = flag.String("journal", "", "replay this update journal on top of -artifact before classifying ('auto' = <artifact>.journal)")
 		artVer    = flag.Bool("artifact-version", false, "print the compiled artifact schema version and exit")
 	)
 	flag.Parse()
@@ -69,13 +70,22 @@ func main() {
 	)
 	start := time.Now()
 	if *artifact != "" {
+		if *journal == "auto" {
+			*journal = engine.JournalPathFor(*artifact)
+		}
+		opts.JournalPath = *journal
 		eng, err = engine.NewEngineFromArtifact(*artifact, opts)
 		if err != nil {
 			fatal(err)
 		}
-		// The artifact's embedded rule set is the ground truth below.
+		// The artifact's embedded rule set — with any replayed journal
+		// updates merged in — is the ground truth below, so this doubles as
+		// the post-recovery differential check.
 		set = eng.Rules()
 	} else {
+		if *journal != "" {
+			fatal(fmt.Errorf("-journal requires -artifact"))
+		}
 		set, err = loadClassifier(*rulesPath, *family, *size, *seed)
 		if err != nil {
 			fatal(err)
@@ -95,6 +105,9 @@ func main() {
 	if *artifact != "" {
 		fmt.Printf("loaded %s artifact %s (%d rules) in %s — no build/train path invoked\n",
 			engine.DisplayName(eng.Backend()), *artifact, set.Len(), buildTime.Round(time.Millisecond))
+		if st := eng.UpdaterStats(); st.JournalRecords > 0 {
+			fmt.Printf("  replayed %d journaled updates from %s\n", st.JournalRecords, st.JournalPath)
+		}
 	} else {
 		fmt.Printf("built %s over %d rules in %s\n", engine.DisplayName(eng.Backend()), set.Len(), buildTime.Round(time.Millisecond))
 	}

@@ -14,6 +14,13 @@
 //
 //	classifyd -artifact policy.ncaf -listen 127.0.0.1:9099
 //
+// Serve with cheap online updates and a durable update journal: inserts and
+// deletes land in a delta overlay (no rebuild on the update path), a
+// background compactor folds them into the base, and every acknowledged
+// update is journaled so a kill-and-restart replays it:
+//
+//	classifyd -artifact policy.ncaf -journal auto -listen 127.0.0.1:9099
+//
 // Query it (IPs may be dotted quads or decimal):
 //
 //	classifyd -query 127.0.0.1:9099 -packet "10.0.0.1 192.168.1.1 1234 80 6"
@@ -74,6 +81,9 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		binth     = fs.Int("binth", 16, "leaf threshold for tree backends")
 		shards    = fs.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
 		artifact  = fs.String("artifact", "", "warm-start: serve this compiled classifier artifact instead of building")
+		online    = fs.Bool("online", false, "route live updates through the delta-overlay subsystem instead of rebuild-per-update")
+		journal   = fs.String("journal", "", "durable update journal path (implies -online; replayed at start; 'auto' co-locates with -artifact)")
+		compactAt = fs.Int("compact-threshold", 0, "pending updates that trigger background compaction (0 = default, <0 disables)")
 		listen    = fs.String("listen", "127.0.0.1:9099", "address to serve on")
 		drain     = fs.Duration("drain-timeout", 5*time.Second, "max time to drain in-flight requests on shutdown")
 		query     = fs.String("query", "", "query a running server at this address instead of serving")
@@ -95,10 +105,23 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		return runQuery(stdout, *query, *packetStr, *addRule, *pos, *delID, *savePath, *loadPath)
 	}
 
+	journalPath := *journal
+	if journalPath == "auto" {
+		if *artifact == "" {
+			return fmt.Errorf("-journal auto needs -artifact to co-locate with")
+		}
+		journalPath = engine.JournalPathFor(*artifact)
+	}
+
 	var eng *engine.Engine
 	if *artifact != "" {
 		var err error
-		eng, err = engine.NewEngineFromArtifact(*artifact, engine.Options{Shards: *shards})
+		eng, err = engine.NewEngineFromArtifact(*artifact, engine.Options{
+			Shards:           *shards,
+			OnlineUpdates:    *online,
+			JournalPath:      journalPath,
+			CompactThreshold: *compactAt,
+		})
 		if err != nil {
 			return err
 		}
@@ -110,16 +133,26 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 			return err
 		}
 		eng, err = engine.NewEngine(strings.ToLower(*algo), set, engine.Options{
-			Binth:     *binth,
-			Timesteps: *timesteps,
-			Seed:      *seed,
-			Shards:    *shards,
+			Binth:            *binth,
+			Timesteps:        *timesteps,
+			Seed:             *seed,
+			Shards:           *shards,
+			OnlineUpdates:    *online,
+			JournalPath:      journalPath,
+			CompactThreshold: *compactAt,
 		})
 		if err != nil {
 			return err
 		}
 	}
 	defer eng.Close()
+	if st := eng.UpdaterStats(); st.Enabled {
+		fmt.Fprintf(stdout, "classifyd: online updates enabled (compact threshold %d", st.CompactThreshold)
+		if st.JournalPath != "" {
+			fmt.Fprintf(stdout, ", journal %s, %d records replayed", st.JournalPath, st.JournalRecords)
+		}
+		fmt.Fprintf(stdout, "), serving %d rules\n", st.Rules)
+	}
 
 	srv := server.New(eng)
 	addr, err := srv.Listen(*listen)

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -169,5 +170,83 @@ func TestArtifactWarmStart(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down within 10s of SIGTERM")
+	}
+}
+
+// TestJournalKillRestart is the daemon-level recovery acceptance test:
+// serve an artifact with -journal auto, apply live updates through the
+// protocol, stop the daemon (via its signal path — nothing rewrites the
+// artifact, so recovery must come from the journal alone), restart it on
+// the same artifact+journal pair, and verify every acknowledged update is
+// live again. True abrupt-death recovery (no Close, torn tails) is covered
+// by TestJournalCrashRecovery and the journal torn-tail tests at the
+// engine/updater level.
+func TestJournalKillRestart(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 200, 4)
+	tr, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := compiled.Compile(set, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "policy.ncaf")
+	meta := compiled.Metadata{Backend: "hicuts", Rules: set.Len(), Binth: 16}
+	if err := compiled.SaveFile(path, cc, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, sig, errCh, out := startDaemon(t, []string{
+		"-artifact", path, "-journal", "auto", "-compact-threshold", "-1", "-listen", "127.0.0.1:0",
+	})
+	client := dialDaemon(t, addr)
+
+	// A top-priority wildcard-ish rule added live: acknowledged means
+	// journaled.
+	id, _, err := client.AddRule(0, "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.DeleteRule(set.Rule(5).ID); err != nil {
+		t.Fatal(err)
+	}
+	// "Kill": stop the daemon abruptly via its signal path but, unlike a
+	// graceful checkpoint, nothing rewrites the artifact — recovery must
+	// come from the journal alone.
+	sig <- syscall.SIGTERM
+	select {
+	case <-errCh:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit\noutput:\n%s", out.String())
+	}
+
+	addr2, sig2, errCh2, out2 := startDaemon(t, []string{
+		"-artifact", path, "-journal", "auto", "-compact-threshold", "-1", "-listen", "127.0.0.1:0",
+	})
+	if !strings.Contains(out2.String(), "2 records replayed") {
+		t.Fatalf("restart did not replay the journal:\n%s", out2.String())
+	}
+	client2 := dialDaemon(t, addr2)
+	p, err := server.ParseRequest("10.9.8.7 1.2.3.4 4321 80 6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotID, _, ok, err := client2.Classify(p)
+	if err != nil || !ok || gotID != id {
+		t.Fatalf("replayed rule not served after restart: id=%d ok=%v err=%v want id=%d", gotID, ok, err, id)
+	}
+	sig2 <- syscall.SIGTERM
+	select {
+	case err := <-errCh2:
+		if err != nil {
+			t.Fatalf("restarted daemon exited non-cleanly: %v\noutput:\n%s", err, out2.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("restarted daemon did not shut down")
 	}
 }

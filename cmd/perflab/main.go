@@ -37,6 +37,8 @@ func main() {
 		compareCmd(os.Args[2:])
 	case "checkcompiled":
 		checkCompiledCmd(os.Args[2:])
+	case "checkupdates":
+		checkUpdatesCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -52,6 +54,8 @@ func usage() {
   perflab baseline      [grid flags] [-out FILE]   (same as run; defaults to BENCH_baseline.json)
   perflab compare       -old FILE -new FILE [threshold flags]
   perflab checkcompiled [-in FILE]   assert compiled lookup p50 <= legacy p50 per pair
+  perflab checkupdates  [-family F -size N -backend B -updates N -min-factor X]
+                        assert the overlay update path beats rebuild-per-update by >= X
 
 run 'perflab run -h' or 'perflab compare -h' for flags.
 The compiled-vs-legacy grid: perflab run -families acl1 -sizes 300 -skews uniform \
@@ -67,8 +71,8 @@ func runCmd(args []string, defaultOut string) {
 	var (
 		families = fs.String("families", strings.Join(ciGrid.Families, ","), "comma-separated ClassBench families")
 		sizes    = fs.String("sizes", intsToCSV(ciGrid.Sizes), "comma-separated rule-set sizes")
-		skews    = fs.String("skews", "uniform,zipf", "comma-separated traffic skews (uniform, zipf)")
-		churns   = fs.String("churns", "readonly,churn", "comma-separated update modes (readonly, churn)")
+		skews    = fs.String("skews", skewsCSV(ciGrid.Skews), "comma-separated traffic skews (uniform, zipf)")
+		churns   = fs.String("churns", churnsCSV(ciGrid.Churns), "comma-separated update modes (readonly, churn, updateheavy)")
 		backends = fs.String("backends", strings.Join(ciGrid.Backends, ","), "comma-separated engine backends")
 		lookups  = fs.String("lookups", "", "optional serving axis for tree backends: compiled,legacy (empty = default compiled cells)")
 		seed     = fs.Int64("seed", ciCfg.Seed, "random seed")
@@ -210,6 +214,50 @@ func checkCompiledCmd(args []string) {
 	}
 }
 
+// checkUpdatesCmd asserts the online-update subsystem's headline claim: a
+// single-rule update through the delta overlay must beat rebuild-per-update
+// by at least -min-factor at the median, on the same backend and rule set.
+// The measurement is re-run up to -retries times on violation (same noise
+// rationale as checkcompiled); persistent violations exit 2 so CI can gate.
+func checkUpdatesCmd(args []string) {
+	fs := flag.NewFlagSet("checkupdates", flag.ExitOnError)
+	var (
+		family    = fs.String("family", "acl1", "ClassBench family")
+		size      = fs.Int("size", 2000, "rule-set size")
+		backend   = fs.String("backend", "hicuts", "tree backend to measure")
+		updates   = fs.Int("updates", 200, "measured updates per path")
+		minFactor = fs.Float64("min-factor", 10, "required rebuild-p50 / overlay-p50 ratio")
+		seed      = fs.Int64("seed", 1, "random seed")
+		retries   = fs.Int("retries", 2, "re-measure up to this many times on violation")
+	)
+	fs.Parse(args)
+
+	var res perf.UpdateSpeedup
+	var violation string
+	for attempt := 0; ; attempt++ {
+		var err error
+		res, err = perf.MeasureUpdateSpeedup(*family, *size, *backend, *updates, perf.RunConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		violation = perf.CheckUpdateSpeedup(res, *minFactor)
+		if violation == "" || attempt >= *retries {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "perflab: attempt %d/%d: %s — re-measuring\n", attempt+1, *retries+1, violation)
+	}
+	verdict := "ok"
+	if violation != "" {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("%s_%d_%s  overlay update p50 %8.0fns  rebuild update p50 %10.0fns  %6.1fx  %s\n",
+		res.Family, res.Size, res.Backend, res.OverlayP50Nanos, res.RebuildP50Nanos, res.Factor, verdict)
+	if violation != "" {
+		fmt.Fprintln(os.Stderr, "perflab: "+violation)
+		os.Exit(2)
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "perflab:", err)
 	os.Exit(1)
@@ -241,6 +289,22 @@ func intsToCSV(ns []int) string {
 	parts := make([]string, len(ns))
 	for i, n := range ns {
 		parts[i] = strconv.Itoa(n)
+	}
+	return strings.Join(parts, ",")
+}
+
+func skewsCSV(ss []perf.Skew) string {
+	parts := make([]string, len(ss))
+	for i, s := range ss {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, ",")
+}
+
+func churnsCSV(cs []perf.Churn) string {
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = string(c)
 	}
 	return strings.Join(parts, ",")
 }

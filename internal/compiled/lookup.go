@@ -116,3 +116,12 @@ func (c *Classifier) LookupIndex(p rule.Packet) int {
 	}
 	return best
 }
+
+// Note for update-overlay integrators: a deletion-masked variant of Lookup
+// (skip tombstoned rules inside the leaf scans) is deliberately NOT
+// provided. Tree construction prunes leaf rules that a higher-priority rule
+// shadows inside the leaf's box, so a rule absent from the leaves can still
+// be the best surviving match once its shadower is deleted — an in-tree
+// mask would silently miss it. Callers that overlay deletions on a compiled
+// base (internal/updater) must instead check the plain Lookup winner
+// against their tombstone set and rescan on a hit.

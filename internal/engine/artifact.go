@@ -2,18 +2,30 @@ package engine
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"neurocuts/internal/compiled"
+	"neurocuts/internal/updater"
 )
+
+// JournalPathFor returns the conventional co-located journal path for a
+// compiled artifact: the artifact path plus ".journal". Keeping the pair
+// side by side means a warm start that finds both files can always
+// reconstruct the exact acknowledged state.
+func JournalPathFor(artifactPath string) string { return artifactPath + ".journal" }
 
 // NewEngineFromArtifact warm-starts an engine from a compiled classifier
 // artifact: it serves its first lookup straight from the loaded flat-array
 // form, without invoking any backend build or train path. The artifact's
 // backend name is resolved against the registry lazily and only matters for
-// rule updates (which rebuild); if the name is not registered, the engine
-// still serves lookups but Insert/Delete return an error.
+// rebuild-path updates and compaction; if the name is not registered, the
+// engine still serves lookups (and, with the updater enabled, still accepts
+// overlay updates). When opts.JournalPath names an existing journal its
+// records are replayed on top of the artifact before the engine is
+// returned, restoring every update acknowledged before the last shutdown
+// or crash.
 func NewEngineFromArtifact(path string, opts Options) (*Engine, error) {
 	opts = opts.withDefaults()
 	c, meta, err := compiled.LoadFile(path)
@@ -33,11 +45,15 @@ func NewEngineFromArtifact(path string, opts Options) (*Engine, error) {
 	if entry, err := lookupBackend(meta.Backend); err == nil {
 		build = entry.build
 	}
-	e.snap.Store(&snapshot{cls: cls, set: set, version: 1, backend: meta.Backend, build: build})
+	e.artifactPath = path
+	e.snap.Store(&snapshot{cls: cls, set: set, version: 1, backend: meta.Backend, build: build, baseCls: cls})
 	for _, r := range set.Rules() {
 		if r.ID >= e.nextID {
 			e.nextID = r.ID + 1
 		}
+	}
+	if err := e.initUpdater(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -56,20 +72,87 @@ func (e *Engine) artifactMetadata(s *snapshot) compiled.Metadata {
 // SaveArtifact persists the current snapshot's compiled classifier (and its
 // rule set) as a versioned artifact at path. It fails for backends that have
 // no compiled form (linear, tss, tcam) and for engines running with
-// LegacyTreeLookup.
+// LegacyTreeLookup. With the online-update subsystem enabled, any pending
+// overlay updates are first folded in by a synchronous compaction so the
+// artifact embodies every acknowledged update.
+//
+// The journal rotates (resets to empty over the new checkpoint) only when
+// the save targets the engine's own pair: path is the journal's co-located
+// companion (JournalPathFor(path) equals the configured journal path) or
+// the artifact this engine was started from / last loaded. A save to any
+// other path is a side snapshot: the journal must keep describing the
+// engine's original starting list, or a crash after the save would leave
+// the configured artifact+journal pair unable to reconstruct acknowledged
+// updates.
+//
+// The checkpoint itself is two durable steps (artifact rename, then journal
+// rotation), ordered so a crash between them never loses data: the new
+// artifact already embodies every journaled update, and the stale journal
+// fails the next warm start loudly (fingerprint mismatch) instead of
+// replaying onto the wrong base — remove the stale journal to proceed.
 func (e *Engine) SaveArtifact(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	s := e.snap.Load()
+	if _, overlay := s.cls.(*overlayClassifier); overlay {
+		if err := e.compactLocked(); err != nil {
+			return err
+		}
+		s = e.snap.Load()
+	}
 	cp, ok := s.cls.(CompiledProvider)
 	if !ok {
 		return fmt.Errorf("engine: backend %q has no compiled artifact form", s.backend)
 	}
-	return compiled.SaveFile(path, cp.Compiled(), e.artifactMetadata(s))
+	if err := compiled.SaveFile(path, cp.Compiled(), e.artifactMetadata(s)); err != nil {
+		return err
+	}
+	if e.journal != nil && (samePath(JournalPathFor(path), e.journal.Path()) || samePath(path, e.artifactPath)) {
+		return e.rotateJournalLocked(s)
+	}
+	return nil
+}
+
+// samePath compares two file paths by their canonical absolute form, so
+// "policy.ncaf" and "./policy.ncaf" name the same checkpoint. Symlinked
+// spellings can still differ — treated as distinct paths, which errs on the
+// side of NOT rotating the journal (recoverable) rather than rotating for
+// the wrong file.
+func samePath(a, b string) bool {
+	if a == "" || b == "" {
+		return false
+	}
+	aa, errA := filepath.Abs(a)
+	bb, errB := filepath.Abs(b)
+	if errA != nil || errB != nil {
+		return filepath.Clean(a) == filepath.Clean(b)
+	}
+	return aa == bb
+}
+
+// rotateJournalLocked resets the journal over the snapshot's rule list
+// after a checkpoint (artifact save or load). Caller holds e.mu.
+func (e *Engine) rotateJournalLocked(s *snapshot) error {
+	if e.journal == nil {
+		return nil
+	}
+	return e.journal.Rotate(updater.JournalMeta{
+		Backend:     s.backend,
+		BaseRules:   s.set.Len(),
+		BaseCRC:     updater.Fingerprint(s.set),
+		CreatedUnix: time.Now().Unix(),
+	})
 }
 
 // LoadArtifact loads a compiled classifier artifact and atomically swaps it
 // in as the next snapshot (same RCU discipline as Insert/Delete: in-flight
 // lookups finish against the old snapshot). The engine's backend identity
-// follows the artifact's metadata.
+// follows the artifact's metadata. With the updater enabled the overlay
+// resets over the loaded base and the journal rotates: a load replaces the
+// rule universe, so the previous update history cannot describe the new
+// state — after a load, the journal (and crash recovery) pairs with the
+// loaded artifact, and a restart from the pre-load artifact fails loudly
+// with a fingerprint mismatch rather than silently serving stale rules.
 func (e *Engine) LoadArtifact(path string) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -85,12 +168,24 @@ func (e *Engine) LoadArtifact(path string) (UpdateResult, error) {
 	if entry, err := lookupBackend(meta.Backend); err == nil {
 		build = entry.build
 	}
-	ns := &snapshot{cls: cls, set: set, version: cur.version + 1, backend: meta.Backend, build: build}
+	ns := &snapshot{cls: cls, set: set, version: cur.version + 1, backend: meta.Backend, build: build, baseCls: cls}
+	if e.updaterOn {
+		base, err := newBase(cls, set)
+		if err != nil {
+			return UpdateResult{Version: cur.version, Rules: cur.set.Len()}, err
+		}
+		ns.base = base
+	}
 	e.snap.Store(ns)
+	e.artifactPath = path
+	e.overlayDirty.Store(0)
 	for _, r := range set.Rules() {
 		if r.ID >= e.nextID {
 			e.nextID = r.ID + 1
 		}
+	}
+	if err := e.rotateJournalLocked(ns); err != nil {
+		return UpdateResult{ID: -1, Version: ns.version, Rules: set.Len()}, err
 	}
 	return UpdateResult{ID: -1, Version: ns.version, Rules: set.Len()}, nil
 }

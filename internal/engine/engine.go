@@ -23,12 +23,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"neurocuts/internal/rule"
+	"neurocuts/internal/updater"
 )
 
 // Result is the outcome of classifying one packet in a batch.
@@ -89,8 +91,16 @@ type snapshot struct {
 	backend string
 	// build rebuilds the backend after a rule update. It is nil for engines
 	// warm-started from an artifact whose backend is not registered; such
-	// engines serve lookups but reject updates.
+	// engines serve lookups but reject rebuild-path updates (overlay updates
+	// still work when the updater is enabled).
 	build Builder
+	// baseCls is the underlying built classifier. It equals cls except when
+	// the online-update subsystem is serving a delta overlay on top of it
+	// (then cls is an *overlayClassifier wrapping baseCls).
+	baseCls Classifier
+	// base is the overlay subsystem's view-derivation base (nil when the
+	// updater is disabled). It is replaced on every compaction.
+	base *updater.Base
 }
 
 // Engine serves a registered backend with sharded batch lookups and
@@ -120,6 +130,34 @@ type Engine struct {
 	workOnce  sync.Once
 	work      chan batchTask
 	closeOnce sync.Once
+
+	// Online-update subsystem state (see overlay.go). updaterOn and
+	// compactThreshold are set once before the engine is shared; journal is
+	// guarded by mu; the rest are atomics or owned by the compactor.
+	updaterOn        bool
+	compactThreshold int
+	// artifactPath is the artifact this engine's state derives from (set by
+	// NewEngineFromArtifact and LoadArtifact, "" for cold-built engines).
+	// SaveArtifact uses it to decide whether a save is a checkpoint of the
+	// engine's own pair (rotate the journal) or a side snapshot (leave the
+	// journal describing the original start). Guarded by mu.
+	artifactPath     string
+	journal          *updater.Journal
+	compactCh        chan struct{}
+	stopCompact      chan struct{}
+	compactorDone    chan struct{}
+	compactions      atomic.Uint64
+	compacting       atomic.Bool
+	lastCompactNanos atomic.Int64
+	// Compaction failure telemetry: count, latest message (nil after a
+	// success) and the time of the latest failure (drives the compactor's
+	// retry backoff).
+	compactFailures   atomic.Uint64
+	lastCompactErr    atomic.Pointer[string]
+	lastCompactFailAt atomic.Int64
+	// overlayDirty is the UnixNano timestamp of the oldest pending overlay
+	// update (0 when the overlay is empty), driving age-based compaction.
+	overlayDirty atomic.Int64
 }
 
 // batchTask is one span of a batch dispatched to a shard worker. The struct
@@ -158,11 +196,14 @@ func NewEngine(name string, set *rule.Set, opts Options) (*Engine, error) {
 	}
 	e := &Engine{opts: opts, shards: shards}
 	e.cache = newFlowCache(opts.FlowCacheEntries, opts.FlowCacheShards)
-	e.snap.Store(&snapshot{cls: cls, set: set, version: 1, backend: entry.name, build: entry.build})
+	e.snap.Store(&snapshot{cls: cls, set: set, version: 1, backend: entry.name, build: entry.build, baseCls: cls})
 	for _, r := range set.Rules() {
 		if r.ID >= e.nextID {
 			e.nextID = r.ID + 1
 		}
+	}
+	if err := e.initUpdater(); err != nil {
+		return nil, err
 	}
 	return e, nil
 }
@@ -274,12 +315,14 @@ func (e *Engine) startWorkers() {
 	})
 }
 
-// Close releases the engine's worker goroutines. It is safe to call more
-// than once; the engine must not be used for batch classification after
-// Close. Engines that never saw a large batch hold no goroutines, so Close
-// is optional for short-lived engines.
+// Close releases the engine's worker goroutines, stops the background
+// compactor and closes the update journal. It is safe to call more than
+// once; the engine must not be used for batch classification after Close.
+// Engines that never saw a large batch hold no batch goroutines, so Close
+// is optional for short-lived engines without the updater.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		e.closeUpdater()
 		// Consuming the Once first means a concurrent in-flight start
 		// finishes before we observe workersUp, and no future call can
 		// respawn workers.
@@ -303,14 +346,38 @@ type UpdateResult struct {
 	Rules int
 }
 
-// Insert adds a rule at priority position pos (clamped to the list bounds),
-// rebuilds the backend off-line and atomically swaps the new snapshot in.
-// Concurrent readers keep classifying against the old snapshot until the
-// swap.
+// ErrRuleNotFound is wrapped by Delete when no live rule carries the
+// requested ID (including a second delete of an already-removed rule).
+var ErrRuleNotFound = errors.New("rule not found")
+
+// Insert adds a rule at priority position pos and atomically swaps the new
+// snapshot in; concurrent readers keep classifying against the old snapshot
+// until the swap. Positions outside [0, Rules()] are clamped to the nearest
+// bound (pos<0 inserts at the top, pos>len appends), so Insert never fails
+// on position alone. With the online-update subsystem enabled the rule
+// lands in the delta overlay (no backend rebuild); otherwise the backend is
+// rebuilt off-line.
 func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.snap.Load()
+	// Clamp before journaling so replay applies the position actually used.
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > cur.set.Len() {
+		pos = cur.set.Len()
+	}
+	if e.updaterOn && cur.base != nil {
+		r.ID = e.nextID
+		next := cur.set.Clone()
+		next.Insert(pos, r)
+		res, err := e.applyOverlayLocked(cur, next, updater.Op{Kind: updater.OpInsert, Pos: pos, ID: r.ID, Rule: r})
+		if err == nil {
+			e.nextID++
+		}
+		return res, err
+	}
 	if cur.build == nil {
 		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
 			fmt.Errorf("engine: backend %q is not registered; updates unavailable on this artifact-served engine", cur.backend)
@@ -321,24 +388,23 @@ func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
 	cls, err := cur.build(next, e.opts)
 	if err != nil {
 		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
-			fmt.Errorf("engine: rebuild after insert: %w", err)
+			fmt.Errorf("engine: rebuild after insert of rule %d: %w", r.ID, err)
 	}
 	e.nextID++
-	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build}
+	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build, baseCls: cls}
 	e.snap.Store(ns)
 	return UpdateResult{ID: r.ID, Version: ns.version, Rules: next.Len()}, nil
 }
 
-// Delete removes the rule with the given ID, rebuilds off-line and swaps the
-// new snapshot in.
+// Delete removes the rule with the given ID and swaps the new snapshot in.
+// Deleting an ID with no live rule (never inserted, or already deleted)
+// fails with an error wrapping ErrRuleNotFound that names the ID. With the
+// online-update subsystem enabled the delete becomes a tombstone (no
+// backend rebuild); otherwise the backend is rebuilt off-line.
 func (e *Engine) Delete(id int) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.snap.Load()
-	if cur.build == nil {
-		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
-			fmt.Errorf("engine: backend %q is not registered; updates unavailable on this artifact-served engine", cur.backend)
-	}
 	idx := -1
 	for i, r := range cur.set.Rules() {
 		if r.ID == id {
@@ -348,16 +414,25 @@ func (e *Engine) Delete(id int) (UpdateResult, error) {
 	}
 	if idx < 0 {
 		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
-			fmt.Errorf("engine: no rule with id %d", id)
+			fmt.Errorf("engine: delete rule %d: %w (%d rules live)", id, ErrRuleNotFound, cur.set.Len())
+	}
+	if e.updaterOn && cur.base != nil {
+		next := cur.set.Clone()
+		next.Remove(idx)
+		return e.applyOverlayLocked(cur, next, updater.Op{Kind: updater.OpDelete, ID: id})
+	}
+	if cur.build == nil {
+		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
+			fmt.Errorf("engine: backend %q is not registered; updates unavailable on this artifact-served engine", cur.backend)
 	}
 	next := cur.set.Clone()
 	next.Remove(idx)
 	cls, err := cur.build(next, e.opts)
 	if err != nil {
 		return UpdateResult{Version: cur.version, Rules: cur.set.Len()},
-			fmt.Errorf("engine: rebuild after delete: %w", err)
+			fmt.Errorf("engine: rebuild after delete of rule %d: %w", id, err)
 	}
-	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build}
+	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build, baseCls: cls}
 	e.snap.Store(ns)
 	return UpdateResult{ID: id, Version: ns.version, Rules: next.Len()}, nil
 }

@@ -1,0 +1,436 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"neurocuts/internal/rule"
+	"neurocuts/internal/updater"
+)
+
+// This file wires the delta-overlay update subsystem (internal/updater)
+// into the Engine. With Options.OnlineUpdates (or a JournalPath) set,
+// Insert/Delete no longer rebuild the backend: the update lands in a small
+// TSS overlay (inserts) or a tombstone set (deletes), a fresh immutable
+// View is derived and published through the usual RCU snapshot swap, and a
+// background compactor goroutine folds the overlay back into a rebuilt base
+// off the critical path. Every update is journaled (when a journal is
+// configured) before its snapshot is published, so acknowledged updates
+// survive a crash and replay at the next warm start.
+
+// DefaultCompactThreshold is the pending-update count (overlay rules plus
+// tombstones) at which background compaction kicks in when
+// Options.CompactThreshold is 0.
+const DefaultCompactThreshold = 256
+
+// overlayClassifier adapts an updater.View to the Classifier interface so
+// the engine's read path (sharded batches, flow cache, pools) serves merged
+// base+overlay lookups unchanged.
+type overlayClassifier struct {
+	view *updater.View
+	m    Metrics
+}
+
+func (o *overlayClassifier) Classify(p rule.Packet) (rule.Rule, bool) { return o.view.Classify(p) }
+
+func (o *overlayClassifier) ClassifyBatch(ps []rule.Packet, out []Result) {
+	for i, p := range ps {
+		out[i].Rule, out[i].OK = o.view.Classify(p)
+	}
+}
+
+func (o *overlayClassifier) Metrics() Metrics { return o.m }
+
+// newBase wraps a built classifier as an overlay base.
+func newBase(cls Classifier, set *rule.Set) (*updater.Base, error) {
+	return updater.NewBase(set, cls.Classify)
+}
+
+// initUpdater turns the freshly built engine into an overlay-updating one:
+// it derives the base from the current snapshot, opens and replays the
+// journal when one is configured, and starts the background compactor.
+// Called once from NewEngine / NewEngineFromArtifact, before the engine is
+// visible to any other goroutine.
+func (e *Engine) initUpdater() error {
+	if !e.opts.OnlineUpdates && e.opts.JournalPath == "" {
+		return nil
+	}
+	e.updaterOn = true
+	e.compactThreshold = e.opts.CompactThreshold
+	if e.compactThreshold == 0 {
+		e.compactThreshold = DefaultCompactThreshold
+	}
+
+	cur := e.snap.Load()
+	base, err := newBase(cur.baseCls, cur.set)
+	if err != nil {
+		return err
+	}
+	ns := *cur
+	ns.base = base
+	e.snap.Store(&ns)
+
+	if e.opts.JournalPath != "" {
+		meta := updater.JournalMeta{
+			Backend:     cur.backend,
+			BaseRules:   cur.set.Len(),
+			BaseCRC:     updater.Fingerprint(cur.set),
+			CreatedUnix: time.Now().Unix(),
+		}
+		j, ops, err := updater.OpenJournal(e.opts.JournalPath, meta, !e.opts.JournalNoSync)
+		if err != nil {
+			return err
+		}
+		e.journal = j
+		if len(ops) > 0 {
+			if err := e.replayJournal(ops); err != nil {
+				j.Close()
+				e.journal = nil
+				return err
+			}
+		}
+	}
+
+	if e.compactThreshold > 0 || e.opts.CompactMaxAge > 0 {
+		e.stopCompact = make(chan struct{})
+		e.compactorDone = make(chan struct{})
+		e.compactCh = make(chan struct{}, 1)
+		go e.compactor()
+		// Journal replay ran before the compactor existed, so a replayed
+		// overlay already past the threshold dropped its signal — re-arm it
+		// now that someone is listening.
+		e.afterOverlayPublish(e.snap.Load())
+	}
+	return nil
+}
+
+// replayJournal applies recovered journal records to the engine's starting
+// rule list and publishes one merged view over them. One snapshot covers
+// the whole replay; the version advances by the number of replayed updates
+// so it matches what a non-crashed engine would report.
+func (e *Engine) replayJournal(ops []updater.Op) error {
+	cur := e.snap.Load()
+	merged, maxID, err := updater.Replay(cur.set, ops)
+	if err != nil {
+		return err
+	}
+	view, err := updater.NewView(cur.base, merged)
+	if err != nil {
+		// The replayed delta does not fit the overlay (rank-space or TSS
+		// expansion limits): fold it into a full rebuild instead.
+		if cur.build == nil {
+			return fmt.Errorf("engine: journal replay needs a rebuild but backend %q is not registered: %w", cur.backend, err)
+		}
+		cls, berr := cur.build(merged, e.opts)
+		if berr != nil {
+			return fmt.Errorf("engine: rebuild during journal replay: %w", berr)
+		}
+		base, berr := newBase(cls, merged)
+		if berr != nil {
+			return berr
+		}
+		e.snap.Store(&snapshot{cls: cls, baseCls: cls, set: merged,
+			version: cur.version + uint64(len(ops)), backend: cur.backend, build: cur.build, base: base})
+	} else {
+		m := cur.baseCls.Metrics()
+		m.Rules = merged.Len()
+		e.snap.Store(&snapshot{cls: &overlayClassifier{view: view, m: m}, baseCls: cur.baseCls,
+			set: merged, version: cur.version + uint64(len(ops)), backend: cur.backend, build: cur.build, base: cur.base})
+	}
+	if maxID >= e.nextID {
+		e.nextID = maxID + 1
+	}
+	e.afterOverlayPublish(e.snap.Load())
+	return nil
+}
+
+// applyOverlayLocked publishes one update through the overlay path: derive
+// the next view, journal the op, swap the snapshot. When the view cannot be
+// derived (rank space exhausted, or a rule the TSS overlay cannot hold) the
+// update falls back to a synchronous rebuild, which also resets the base.
+// Caller holds e.mu.
+func (e *Engine) applyOverlayLocked(cur *snapshot, next *rule.Set, op updater.Op) (UpdateResult, error) {
+	fail := UpdateResult{Version: cur.version, Rules: cur.set.Len()}
+	var ns *snapshot
+	view, verr := updater.NewView(cur.base, next)
+	if verr == nil {
+		m := cur.baseCls.Metrics()
+		m.Rules = next.Len()
+		ns = &snapshot{cls: &overlayClassifier{view: view, m: m}, baseCls: cur.baseCls,
+			set: next, version: cur.version + 1, backend: cur.backend, build: cur.build, base: cur.base}
+	} else {
+		if cur.build == nil {
+			return fail, fmt.Errorf("engine: overlay update unavailable and backend %q is not registered for rebuild: %w", cur.backend, verr)
+		}
+		cls, err := cur.build(next, e.opts)
+		if err != nil {
+			return fail, fmt.Errorf("engine: rebuild after overlay fallback (%v): %w", verr, err)
+		}
+		base, err := newBase(cls, next)
+		if err != nil {
+			return fail, err
+		}
+		ns = &snapshot{cls: cls, baseCls: cls, set: next,
+			version: cur.version + 1, backend: cur.backend, build: cur.build, base: base}
+	}
+	// Journal before publish: an update is acknowledged only once durable.
+	if e.journal != nil {
+		if err := e.journal.Append(op); err != nil {
+			return fail, err
+		}
+	}
+	e.snap.Store(ns)
+	e.afterOverlayPublish(ns)
+	return UpdateResult{ID: op.ID, Version: ns.version, Rules: next.Len()}, nil
+}
+
+// afterOverlayPublish maintains the compaction triggers after a snapshot
+// swap: the age clock starts when the first pending update appears, and the
+// size threshold signals the compactor (non-blocking; signals coalesce).
+func (e *Engine) afterOverlayPublish(ns *snapshot) {
+	oc, ok := ns.cls.(*overlayClassifier)
+	if !ok {
+		e.overlayDirty.Store(0)
+		return
+	}
+	pending := oc.view.OverlayLen() + oc.view.Tombstones()
+	if pending == 0 {
+		e.overlayDirty.Store(0)
+		return
+	}
+	if e.overlayDirty.Load() == 0 {
+		e.overlayDirty.Store(time.Now().UnixNano())
+	}
+	if e.compactCh != nil && e.compactThreshold > 0 && pending >= e.compactThreshold {
+		select {
+		case e.compactCh <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// compactor is the background goroutine that folds the overlay back into a
+// rebuilt base. It wakes on size-threshold signals and, when CompactMaxAge
+// is set, on a ticker that compacts overlays past their age budget.
+func (e *Engine) compactor() {
+	defer close(e.compactorDone)
+	var tickC <-chan time.Time
+	if age := e.opts.CompactMaxAge; age > 0 {
+		interval := age / 4
+		if interval < 10*time.Millisecond {
+			interval = 10 * time.Millisecond
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-e.stopCompact:
+			return
+		case <-e.compactCh:
+		case <-tickC:
+			since := e.overlayDirty.Load()
+			if since == 0 || time.Since(time.Unix(0, since)) < e.opts.CompactMaxAge {
+				continue
+			}
+		}
+		select {
+		case <-e.stopCompact:
+			return
+		default:
+		}
+		// Failure backoff: a merged list the backend cannot rebuild would
+		// otherwise burn a core re-attempting a doomed O(ruleset) build on
+		// every update signal.
+		if at := e.lastCompactFailAt.Load(); at != 0 && time.Since(time.Unix(0, at)) < compactFailureBackoff {
+			continue
+		}
+		e.compactOnce()
+	}
+}
+
+// compactFailureBackoff is the minimum pause between background compaction
+// attempts after a failure.
+const compactFailureBackoff = 2 * time.Second
+
+// compactOnce rebuilds the base from the merged list off the critical path
+// and rebases whatever overlay accumulated during the build. Readers are
+// never blocked: the rebuild runs outside the writer lock, and the final
+// rebase is one more RCU snapshot swap.
+func (e *Engine) compactOnce() {
+	e.compacting.Store(true)
+	defer e.compacting.Store(false)
+
+	e.mu.Lock()
+	cur := e.snap.Load()
+	oc, ok := cur.cls.(*overlayClassifier)
+	if !ok || cur.build == nil || oc.view.OverlayLen()+oc.view.Tombstones() == 0 {
+		e.mu.Unlock()
+		return
+	}
+	frozen := cur.set // the merged list being folded into the new base
+	build := cur.build
+	e.mu.Unlock()
+
+	t0 := time.Now()
+	cls, err := build(frozen, e.opts)
+	if err != nil {
+		// Keep serving the overlay; the next threshold signal retries
+		// (after the failure backoff in the compactor loop).
+		e.noteCompactFailure(err)
+		return
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	now := e.snap.Load()
+	if now.base != cur.base {
+		// The base generation changed while we were building — a
+		// LoadArtifact, a synchronous compaction or a rebuild fallback
+		// swapped in a different rule universe (overlay updates carry the
+		// base pointer forward unchanged, so this only trips on real base
+		// swaps). Rebasing now.set onto the classifier built from the old
+		// list would anchor the wrong rules (artifact IDs overlap), so drop
+		// this build; the next signal compacts against the new base.
+		return
+	}
+	base, err := newBase(cls, frozen)
+	if err != nil {
+		e.noteCompactFailure(err)
+		return
+	}
+	var ns *snapshot
+	if now.set == frozen {
+		// No updates landed during the rebuild: the new base serves directly.
+		ns = &snapshot{cls: cls, baseCls: cls, set: frozen,
+			version: now.version + 1, backend: now.backend, build: now.build, base: base}
+	} else {
+		view, verr := updater.NewView(base, now.set)
+		if verr != nil {
+			e.noteCompactFailure(verr)
+			return
+		}
+		m := cls.Metrics()
+		m.Rules = now.set.Len()
+		ns = &snapshot{cls: &overlayClassifier{view: view, m: m}, baseCls: cls,
+			set: now.set, version: now.version + 1, backend: now.backend, build: now.build, base: base}
+	}
+	e.snap.Store(ns)
+	e.compactions.Add(1)
+	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())
+	e.lastCompactErr.Store(nil)
+	e.afterOverlayPublish(ns)
+}
+
+// noteCompactFailure records a failed background compaction so operators
+// can see it (UpdaterStats / the server's stats line would otherwise show a
+// frozen compaction count and nothing else) and arms the failure backoff.
+func (e *Engine) noteCompactFailure(err error) {
+	msg := err.Error()
+	e.lastCompactErr.Store(&msg)
+	e.compactFailures.Add(1)
+	e.lastCompactFailAt.Store(time.Now().UnixNano())
+}
+
+// compactLocked synchronously rebuilds the base from the current merged
+// list (caller holds e.mu). Used by SaveArtifact so the saved artifact
+// embodies every pending overlay update.
+func (e *Engine) compactLocked() error {
+	cur := e.snap.Load()
+	if cur.build == nil {
+		return fmt.Errorf("engine: backend %q is not registered; cannot compact", cur.backend)
+	}
+	t0 := time.Now()
+	cls, err := cur.build(cur.set, e.opts)
+	if err != nil {
+		return fmt.Errorf("engine: compacting: %w", err)
+	}
+	base, err := newBase(cls, cur.set)
+	if err != nil {
+		return err
+	}
+	e.snap.Store(&snapshot{cls: cls, baseCls: cls, set: cur.set,
+		version: cur.version + 1, backend: cur.backend, build: cur.build, base: base})
+	e.compactions.Add(1)
+	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())
+	e.overlayDirty.Store(0)
+	return nil
+}
+
+// closeUpdater stops the compactor and closes the journal; called from
+// Close exactly once.
+func (e *Engine) closeUpdater() {
+	if e.stopCompact != nil {
+		close(e.stopCompact)
+		<-e.compactorDone
+	}
+	e.mu.Lock()
+	if e.journal != nil {
+		e.journal.Close()
+		e.journal = nil
+	}
+	e.mu.Unlock()
+}
+
+// UpdaterStats is the observable state of the online-update subsystem,
+// exposed through the server's "stats" admin request.
+type UpdaterStats struct {
+	// Enabled reports whether the engine routes updates through the overlay.
+	Enabled bool
+	// OverlayRules and Tombstones are the pending delta sizes.
+	OverlayRules int
+	// Tombstones is the number of deleted-but-not-yet-compacted base rules.
+	Tombstones int
+	// Rules is the merged (live) rule count.
+	Rules int
+	// Version is the snapshot generation (one per update, replayed update,
+	// compaction or artifact load).
+	Version uint64
+	// Compactions counts completed base rebuilds (the base generation).
+	Compactions uint64
+	// Compacting reports whether a background compaction is in flight.
+	Compacting bool
+	// CompactThreshold is the pending-update count that triggers compaction
+	// (<= 0 when background compaction is disabled).
+	CompactThreshold int
+	// LastCompactNanos is the wall-clock cost of the latest compaction.
+	LastCompactNanos int64
+	// CompactFailures counts failed background compactions; LastCompactError
+	// is the most recent failure ("" after a success).
+	CompactFailures  uint64
+	LastCompactError string
+	// JournalPath and JournalRecords describe the durable journal ("" / 0
+	// when journaling is disabled).
+	JournalPath    string
+	JournalRecords int
+}
+
+// UpdaterStats reports the online-update subsystem's current state.
+func (e *Engine) UpdaterStats() UpdaterStats {
+	s := e.snap.Load()
+	st := UpdaterStats{
+		Enabled:          e.updaterOn,
+		Rules:            s.set.Len(),
+		Version:          s.version,
+		Compactions:      e.compactions.Load(),
+		Compacting:       e.compacting.Load(),
+		CompactThreshold: e.compactThreshold,
+		LastCompactNanos: e.lastCompactNanos.Load(),
+		CompactFailures:  e.compactFailures.Load(),
+	}
+	if msg := e.lastCompactErr.Load(); msg != nil {
+		st.LastCompactError = *msg
+	}
+	if oc, ok := s.cls.(*overlayClassifier); ok {
+		st.OverlayRules = oc.view.OverlayLen()
+		st.Tombstones = oc.view.Tombstones()
+	}
+	e.mu.Lock()
+	if e.journal != nil {
+		st.JournalPath = e.journal.Path()
+		st.JournalRecords = e.journal.Records()
+	}
+	e.mu.Unlock()
+	return st
+}

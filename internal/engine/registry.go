@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"neurocuts/internal/tree"
 
@@ -42,6 +43,33 @@ type Options struct {
 	// form. It exists for the perf lab's compiled-vs-legacy comparison and
 	// as an escape hatch; compiled is the default serve path.
 	LegacyTreeLookup bool
+	// OnlineUpdates routes Insert/Delete through the delta-overlay update
+	// subsystem (internal/updater): inserts land in a small TSS overlay,
+	// deletes become tombstones, and a background compactor folds the delta
+	// into a rebuilt base off the critical path. Without it every update
+	// rebuilds the backend synchronously.
+	OnlineUpdates bool
+	// JournalPath enables the durable update journal at this path (and
+	// implies OnlineUpdates): every acknowledged update is appended (and
+	// synced) before its snapshot is published, and an existing journal is
+	// replayed at engine construction for crash-consistent warm starts.
+	JournalPath string
+	// JournalNoSync disables the per-record fsync. Updates get faster but a
+	// machine crash may lose the latest acknowledged records (a process
+	// crash alone does not).
+	JournalNoSync bool
+	// CompactThreshold is the pending-update count (overlay rules plus
+	// tombstones) that triggers background compaction. 0 selects
+	// DefaultCompactThreshold; negative disables background compaction.
+	CompactThreshold int
+	// CompactMaxAge, when positive, compacts a non-empty overlay older than
+	// this even below the size threshold, bounding how stale the delta can
+	// get on a quiet ruleset. Note that compaction folds the in-memory
+	// overlay only — the on-disk journal keeps growing until a checkpoint
+	// (SaveArtifact over the engine's own artifact, or LoadArtifact)
+	// rotates it; long-running journaling deployments should checkpoint
+	// periodically to bound replay time.
+	CompactMaxAge time.Duration
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,596 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+// overlayTestSet mirrors allocTestSet with a distinct seed so update tests
+// and allocation tests stay independent.
+func overlayTestSet(t testing.TB, size int) *rule.Set {
+	t.Helper()
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classbench.Generate(fam, size, 11)
+}
+
+// poisonBuild replaces the engine's captured backend builder with one that
+// always fails, so any code path that rebuilds from here on is caught.
+func poisonBuild(e *Engine) {
+	s := e.snap.Load()
+	ns := *s
+	ns.build = func(set *rule.Set, opts Options) (Classifier, error) { return nil, poisonedErr }
+	e.snap.Store(&ns)
+}
+
+// TestOverlayUpdatesNeverBuild is the subsystem's acceptance test: with the
+// updater enabled, single-rule Insert and Delete on a 10k-rule tree backend
+// must complete without invoking the backend build path (the builder is
+// poisoned after construction), and lookups must keep matching linear
+// search over the merged list.
+func TestOverlayUpdatesNeverBuild(t *testing.T) {
+	set := overlayTestSet(t, 10000)
+	eng, err := NewEngine("hicuts", set, Options{Shards: 2, OnlineUpdates: true, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	poisonBuild(eng)
+
+	r := set.Rule(3)
+	res, err := eng.Insert(5000, r)
+	if err != nil {
+		t.Fatalf("overlay Insert invoked the build path: %v", err)
+	}
+	if _, err := eng.Delete(set.Rule(123).ID); err != nil {
+		t.Fatalf("overlay Delete invoked the build path: %v", err)
+	}
+	if _, err := eng.Delete(res.ID); err != nil {
+		t.Fatalf("overlay Delete of overlay rule: %v", err)
+	}
+	st := eng.UpdaterStats()
+	if !st.Enabled || st.Tombstones != 1 {
+		t.Fatalf("stats %+v: want enabled with 1 tombstone", st)
+	}
+
+	merged := eng.Rules()
+	mismatch := 0
+	for _, e := range classbench.GenerateTrace(merged, 3000, 13) {
+		want := merged.MatchIndex(e.Key)
+		got, ok := eng.Classify(e.Key)
+		if (want < 0) != !ok || (ok && got.Priority != want) {
+			mismatch++
+		}
+	}
+	if mismatch > 0 {
+		t.Fatalf("%d lookups diverge from linear search after overlay updates", mismatch)
+	}
+}
+
+// TestOverlayDifferential interleaves 1k updates with 12k ClassBench
+// packets and checks every lookup against linear search over the engine's
+// current merged rule list — for a compiled tree base and for tss and
+// linear bases, with background compaction live (threshold 64) so both the
+// fast path and the tombstoned-winner rescan are exercised across base
+// generations.
+func TestOverlayDifferential(t *testing.T) {
+	for _, backend := range []string{"hicuts", "tss", "linear"} {
+		t.Run(backend, func(t *testing.T) {
+			set := overlayTestSet(t, 400)
+			eng, err := NewEngine(backend, set, Options{Shards: 1, OnlineUpdates: true, CompactThreshold: 64})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+
+			rng := rand.New(rand.NewSource(42))
+			trace := classbench.GenerateTrace(set, 12000, 17)
+			var inserted []int
+			updates := 0
+			for i, e := range trace {
+				if i%12 == 0 && updates < 1000 {
+					if len(inserted) > 0 && rng.Intn(3) == 0 {
+						k := rng.Intn(len(inserted))
+						id := inserted[k]
+						inserted = append(inserted[:k], inserted[k+1:]...)
+						if _, err := eng.Delete(id); err != nil {
+							t.Fatalf("update %d: delete %d: %v", updates, id, err)
+						}
+					} else {
+						r := set.Rule(rng.Intn(set.Len()))
+						res, err := eng.Insert(rng.Intn(eng.Rules().Len()+1), r)
+						if err != nil {
+							t.Fatalf("update %d: insert: %v", updates, err)
+						}
+						inserted = append(inserted, res.ID)
+					}
+					updates++
+				}
+				merged := eng.Rules()
+				want := merged.MatchIndex(e.Key)
+				got, ok := eng.Classify(e.Key)
+				if (want < 0) != !ok {
+					t.Fatalf("packet %d (%v): ok=%v want match=%v", i, e.Key, ok, want >= 0)
+				}
+				if ok && got.Priority != want {
+					t.Fatalf("packet %d (%v): got priority %d, want %d", i, e.Key, got.Priority, want)
+				}
+			}
+			if updates < 1000 {
+				t.Fatalf("only %d updates applied", updates)
+			}
+		})
+	}
+}
+
+// TestOverlayConcurrentReadersWritersCompactor hammers one engine with
+// concurrent single and batch readers while a writer churns through the
+// overlay and an aggressive compaction threshold keeps the background
+// compactor busy. Run under -race (CI does) this is the subsystem's data
+// race probe; functionally it asserts readers always see a coherent
+// snapshot (every result matches that snapshot's own rule list).
+func TestOverlayConcurrentReadersWritersCompactor(t *testing.T) {
+	set := overlayTestSet(t, 300)
+	eng, err := NewEngine("hicuts", set, Options{Shards: 2, OnlineUpdates: true,
+		CompactThreshold: 8, CompactMaxAge: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	trace := classbench.GenerateTrace(set, 2000, 19)
+	keys := make([]rule.Packet, len(trace))
+	for i, e := range trace {
+		keys[i] = e.Key
+	}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+
+	// Writer: 300 insert/delete pairs through the overlay.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300 && !stop.Load(); i++ {
+			res, err := eng.Insert(i%(eng.Rules().Len()+1), set.Rule(i%set.Len()))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if i%2 == 0 {
+				if _, err := eng.Delete(res.ID); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}
+	}()
+
+	// Readers: single-packet lookups cross-checked against the snapshot's
+	// own merged list.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed)))
+			for i := 0; i < 4000 && !stop.Load(); i++ {
+				p := keys[rng.Intn(len(keys))]
+				got, ok := eng.Classify(p)
+				// The snapshot may advance between loads, so the winner can
+				// legitimately differ run to run — but a returned rule must
+				// always actually match the packet.
+				if ok && !got.Matches(p) {
+					errCh <- fmt.Errorf("reader %d: returned rule %d does not match packet %v", seed, got.ID, p)
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Batch reader through the sharded worker pool.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := make([]Result, len(keys))
+		for i := 0; i < 60 && !stop.Load(); i++ {
+			eng.ClassifyBatch(keys, out)
+			for k, r := range out {
+				if r.OK && !r.Rule.Matches(keys[k]) {
+					errCh <- fmt.Errorf("batch: rule %d does not match packet %v", r.Rule.ID, keys[k])
+					return
+				}
+			}
+		}
+	}()
+
+	wg.Wait()
+	stop.Store(true)
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if eng.UpdaterStats().Compactions == 0 {
+		t.Fatal("compactor never ran despite aggressive threshold")
+	}
+	// After the dust settles, the final snapshot must be exactly consistent.
+	merged := eng.Rules()
+	for _, p := range keys[:500] {
+		want := merged.MatchIndex(p)
+		got, ok := eng.Classify(p)
+		if (want < 0) != !ok || (ok && got.Priority != want) {
+			t.Fatalf("final state: packet %v got (%d,%v) want idx %d", p, got.Priority, ok, want)
+		}
+	}
+}
+
+// TestOverlayZeroAllocLookups pins the merged lookup path at zero heap
+// allocations per op with a live overlay and tombstones, on a compiled tree
+// base and on the fallback bases the CI alloc gate has always pinned.
+func TestOverlayZeroAllocLookups(t *testing.T) {
+	set := overlayTestSet(t, 256)
+	ps := allocTestPackets(set, 64)
+	for _, backend := range []string{"linear", "tss", "hicuts", "cutsplit"} {
+		eng, err := NewEngine(backend, set, Options{Shards: 1, OnlineUpdates: true, CompactThreshold: -1})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		// Populate the delta: a few overlay inserts and base tombstones.
+		for i := 0; i < 8; i++ {
+			if _, err := eng.Insert(i*20, set.Rule(i)); err != nil {
+				t.Fatalf("%s: %v", backend, err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := eng.Delete(set.Rule(i*3 + 1).ID); err != nil {
+				t.Fatalf("%s: %v", backend, err)
+			}
+		}
+		st := eng.UpdaterStats()
+		if st.OverlayRules == 0 || st.Tombstones == 0 {
+			t.Fatalf("%s: overlay=%d tombstones=%d", backend, st.OverlayRules, st.Tombstones)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			p := ps[i%len(ps)]
+			i++
+			eng.Classify(p)
+		})
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: overlay Classify allocates %.1f allocs/op, want 0", backend, allocs)
+		}
+	}
+}
+
+// TestInsertPositionClamping: positions outside [0, len] clamp to the
+// bounds on both the rebuild and the overlay write paths.
+func TestInsertPositionClamping(t *testing.T) {
+	for _, online := range []bool{false, true} {
+		set := overlayTestSet(t, 40)
+		eng, err := NewEngine("linear", set, Options{Shards: 1, OnlineUpdates: online, CompactThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := rule.NewWildcardRule(0)
+		res, err := eng.Insert(-5, w)
+		if err != nil {
+			t.Fatalf("online=%v: Insert(-5): %v", online, err)
+		}
+		if got := eng.Rules().Rule(0).ID; got != res.ID {
+			t.Fatalf("online=%v: Insert(-5) landed at %d, want top", online, got)
+		}
+		res, err = eng.Insert(eng.Rules().Len()+100, w)
+		if err != nil {
+			t.Fatalf("online=%v: Insert(len+100): %v", online, err)
+		}
+		if got := eng.Rules().Rule(eng.Rules().Len() - 1).ID; got != res.ID {
+			t.Fatalf("online=%v: Insert(len+100) landed at %d, want bottom", online, got)
+		}
+		eng.Close()
+	}
+}
+
+// TestDeleteMissingRule: deleting a nonexistent ID — and deleting the same
+// ID twice — fails with ErrRuleNotFound and an error naming the ID, on both
+// write paths.
+func TestDeleteMissingRule(t *testing.T) {
+	for _, online := range []bool{false, true} {
+		set := overlayTestSet(t, 30)
+		eng, err := NewEngine("linear", set, Options{Shards: 1, OnlineUpdates: online, CompactThreshold: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Delete(987654); !errors.Is(err, ErrRuleNotFound) || !strings.Contains(err.Error(), "987654") {
+			t.Fatalf("online=%v: Delete(987654) err = %v, want ErrRuleNotFound naming the ID", online, err)
+		}
+		id := set.Rule(7).ID
+		if _, err := eng.Delete(id); err != nil {
+			t.Fatalf("online=%v: first delete: %v", online, err)
+		}
+		if _, err := eng.Delete(id); !errors.Is(err, ErrRuleNotFound) {
+			t.Fatalf("online=%v: double delete err = %v, want ErrRuleNotFound", online, err)
+		}
+		// The failed delete must not have bumped the version.
+		v := eng.Version()
+		if _, err := eng.Delete(987654); err == nil || eng.Version() != v {
+			t.Fatalf("online=%v: failed delete changed version", online)
+		}
+		eng.Close()
+	}
+}
+
+// TestJournalCrashRecovery: updates acknowledged to a journaling engine
+// survive an abrupt abandonment (no Close, no artifact rewrite) and replay
+// at the next warm start, with post-recovery lookups matching linear search
+// over the recovered merged list — including when a compaction happened
+// between updates.
+func TestJournalCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "policy.ncaf")
+	journal := JournalPathFor(artifact)
+
+	set := overlayTestSet(t, 500)
+	src, err := NewEngine("hicuts", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	engA, err := NewEngineFromArtifact(artifact, Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var live []int
+	for i := 0; i < 60; i++ {
+		if len(live) > 5 && rng.Intn(3) == 0 {
+			k := rng.Intn(len(live))
+			if _, err := engA.Delete(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		} else {
+			res, err := engA.Insert(rng.Intn(engA.Rules().Len()+1), set.Rule(rng.Intn(set.Len())))
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, res.ID)
+		}
+	}
+	wantRules := append([]rule.Rule(nil), engA.Rules().Rules()...)
+	// Crash: abandon engA without Close. (The journal file's writes are
+	// already in the OS; only the in-memory state is lost.)
+
+	engB, err := NewEngineFromArtifact(artifact, Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer engB.Close()
+	got := engB.Rules().Rules()
+	if len(got) != len(wantRules) {
+		t.Fatalf("recovered %d rules, want %d", len(got), len(wantRules))
+	}
+	for i := range wantRules {
+		if got[i].ID != wantRules[i].ID || got[i].Ranges != wantRules[i].Ranges {
+			t.Fatalf("recovered rule %d = id %d, want id %d", i, got[i].ID, wantRules[i].ID)
+		}
+	}
+	merged := engB.Rules()
+	for _, e := range classbench.GenerateTrace(merged, 3000, 23) {
+		want := merged.MatchIndex(e.Key)
+		r, ok := engB.Classify(e.Key)
+		if (want < 0) != !ok || (ok && r.Priority != want) {
+			t.Fatalf("post-recovery packet %v: got (%d,%v) want idx %d", e.Key, r.Priority, ok, want)
+		}
+	}
+	// New updates keep appending to the recovered journal.
+	if _, err := engB.Insert(0, set.Rule(0)); err != nil {
+		t.Fatal(err)
+	}
+	if st := engB.UpdaterStats(); st.JournalRecords != 61 {
+		t.Fatalf("journal records = %d, want 61 (60 replayed + 1 new)", st.JournalRecords)
+	}
+	engA.Close()
+}
+
+// TestJournalRecoveryAfterCompaction: compaction changes the base but not
+// the journal's replay semantics — records still apply to the journal's
+// starting list.
+func TestJournalRecoveryAfterCompaction(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "u.journal")
+	set := overlayTestSet(t, 200)
+
+	engA, err := NewEngine("hicuts", set, Options{Shards: 1, JournalPath: journal, CompactThreshold: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 24; i++ {
+		if _, err := engA.Insert(i, set.Rule(i%set.Len())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for engA.UpdaterStats().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if engA.UpdaterStats().Compactions == 0 {
+		t.Fatal("compactor never ran")
+	}
+	// A couple of post-compaction updates land in the new overlay.
+	if _, err := engA.Insert(0, set.Rule(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]rule.Rule(nil), engA.Rules().Rules()...)
+
+	// Crash and recover onto a cold-built engine over the same generated
+	// set: the journal's fingerprint matches the original base.
+	engB, err := NewEngine("hicuts", overlayTestSet(t, 200), Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer engB.Close()
+	got := engB.Rules().Rules()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d rules, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("recovered rule %d id=%d want %d", i, got[i].ID, want[i].ID)
+		}
+	}
+	engA.Close()
+}
+
+// TestSaveArtifactCompactsAndRotates: saving an artifact mid-churn folds
+// the overlay in (the artifact embodies every acknowledged update) and
+// rotates the journal, and a warm start from artifact+journal reproduces
+// the live state.
+func TestSaveArtifactCompactsAndRotates(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "p.ncaf")
+	journal := JournalPathFor(artifact)
+	set := overlayTestSet(t, 150)
+
+	eng, err := NewEngine("hicuts", set, Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := eng.Insert(i*7, set.Rule(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := eng.UpdaterStats(); st.OverlayRules != 10 {
+		t.Fatalf("overlay=%d want 10", st.OverlayRules)
+	}
+	if err := eng.SaveArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.UpdaterStats()
+	if st.OverlayRules != 0 || st.JournalRecords != 0 {
+		t.Fatalf("after save: overlay=%d journal=%d, want 0/0 (compacted + rotated)", st.OverlayRules, st.JournalRecords)
+	}
+	// Two post-checkpoint updates, then recover from artifact + journal.
+	res, err := eng.Insert(0, set.Rule(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Delete(res.ID); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]rule.Rule(nil), eng.Rules().Rules()...)
+
+	warm, err := NewEngineFromArtifact(artifact, Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	got := warm.Rules().Rules()
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d rules, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("rule %d: id %d want %d", i, got[i].ID, want[i].ID)
+		}
+	}
+}
+
+// TestOverlayUnregisteredBackendStillUpdates: an artifact-served engine
+// whose backend is not registered rejects rebuild-path updates but accepts
+// overlay updates when the updater is on — updates no longer require the
+// build path at all.
+func TestOverlayUnregisteredBackendStillUpdates(t *testing.T) {
+	set := artifactTestSet(t, 120)
+	path := saveTestArtifact(t, set, "no-such-backend-overlay", t.TempDir())
+	eng, err := NewEngineFromArtifact(path, Options{Shards: 1, OnlineUpdates: true, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	res, err := eng.Insert(0, rule.NewWildcardRule(0))
+	if err != nil {
+		t.Fatalf("overlay insert on unregistered backend: %v", err)
+	}
+	if r, ok := eng.Classify(rule.Packet{Proto: 99}); !ok || r.ID != res.ID {
+		t.Fatalf("inserted wildcard not winning: %v %v", r, ok)
+	}
+	if _, err := eng.Delete(res.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSideSaveDoesNotRotateJournal: saving a snapshot to a path that is
+// neither the journal's co-located companion nor the engine's own source
+// artifact must leave the journal untouched — the configured
+// artifact+journal pair must stay able to reconstruct acknowledged updates
+// after a crash.
+func TestSideSaveDoesNotRotateJournal(t *testing.T) {
+	dir := t.TempDir()
+	artifact := filepath.Join(dir, "main.ncaf")
+	journal := JournalPathFor(artifact)
+	set := overlayTestSet(t, 120)
+
+	src, err := NewEngine("hicuts", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.SaveArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+	src.Close()
+
+	eng, err := NewEngineFromArtifact(artifact, Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Insert(0, set.Rule(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Side snapshot: journal must keep its 5 records.
+	if err := eng.SaveArtifact(filepath.Join(dir, "backup.ncaf")); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.UpdaterStats(); st.JournalRecords != 5 {
+		t.Fatalf("side save rotated the journal: %d records, want 5", st.JournalRecords)
+	}
+	want := append([]rule.Rule(nil), eng.Rules().Rules()...)
+	// Crash and recover from the ORIGINAL pair: all 5 updates replay.
+	warm, err := NewEngineFromArtifact(artifact, Options{Shards: 1, JournalPath: journal, CompactThreshold: -1})
+	if err != nil {
+		t.Fatalf("recovery after side save: %v", err)
+	}
+	defer warm.Close()
+	if got := warm.Rules().Rules(); len(got) != len(want) {
+		t.Fatalf("recovered %d rules, want %d", len(got), len(want))
+	}
+	// Checkpointing the engine's own source artifact DOES rotate.
+	if err := eng.SaveArtifact(artifact); err != nil {
+		t.Fatal(err)
+	}
+	if st := eng.UpdaterStats(); st.JournalRecords != 0 {
+		t.Fatalf("own-pair checkpoint did not rotate: %d records", st.JournalRecords)
+	}
+	eng.Close()
+}

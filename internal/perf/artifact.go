@@ -58,9 +58,9 @@ func ReadArtifact(path string) (Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return Report{}, fmt.Errorf("perf: parse %s: %w", path, err)
 	}
-	if r.SchemaVersion != SchemaVersion {
-		return Report{}, fmt.Errorf("perf: %s: schema version %d, this build speaks %d",
-			path, r.SchemaVersion, SchemaVersion)
+	if r.SchemaVersion < MinReadSchemaVersion || r.SchemaVersion > SchemaVersion {
+		return Report{}, fmt.Errorf("perf: %s: schema version %d, this build reads versions %d..%d",
+			path, r.SchemaVersion, MinReadSchemaVersion, SchemaVersion)
 	}
 	if len(r.Cells) == 0 {
 		return Report{}, fmt.Errorf("perf: %s: report has no cells", path)

@@ -107,7 +107,7 @@ func Compare(old, cand Report, th Thresholds) Comparison {
 		}
 		om, nm := oc.Metrics, nc.Metrics
 		slack := 1.0
-		if oc.Cell.Churn == ChurnUpdates {
+		if oc.Cell.Churn == ChurnUpdates || oc.Cell.Churn == ChurnHeavy {
 			slack = th.ChurnSlackFactor
 			if slack <= 0 {
 				slack = 3
@@ -123,6 +123,18 @@ func Compare(old, cand Report, th Thresholds) Comparison {
 			increaseBeyondPct(float64(om.MemoryBytes), float64(nm.MemoryBytes), th.MemoryPct))
 		cmp.add(name, "allocs_per_op", om.AllocsPerOp, nm.AllocsPerOp,
 			nm.AllocsPerOp > om.AllocsPerOp+th.AllocsDelta)
+		// Update-path latency (schema v2): only gated when the baseline has
+		// the metric — a v1 baseline carries 0 and increaseBeyondPct treats
+		// a non-positive old value as "no baseline", keeping Compare
+		// backward-compatible. Updates run concurrently with measurement
+		// traffic, so they use the same widened (churn-slack) bands as the
+		// other timing metrics on churn cells.
+		if om.UpdateP50Nanos > 0 || nm.UpdateP50Nanos > 0 {
+			cmp.add(name, "update_p50_ns", om.UpdateP50Nanos, nm.UpdateP50Nanos,
+				increaseBeyondPct(om.UpdateP50Nanos, nm.UpdateP50Nanos, th.LatencyPct*slack))
+			cmp.add(name, "update_p99_ns", om.UpdateP99Nanos, nm.UpdateP99Nanos,
+				increaseBeyondPct(om.UpdateP99Nanos, nm.UpdateP99Nanos, th.TailLatencyPct*slack))
+		}
 	}
 	for name := range newByName {
 		if !oldNames[name] {

@@ -22,8 +22,20 @@ import (
 )
 
 // SchemaVersion identifies the Report JSON schema. Bump on any
-// backwards-incompatible field change; ReadArtifact refuses mismatches.
-const SchemaVersion = 1
+// backwards-incompatible field change; ReadArtifact refuses versions it
+// does not know how to read (older versions it can upgrade in place are
+// accepted — see MinReadSchemaVersion).
+//
+// v2 added update_p50_ns / update_p99_ns (update-path latency percentiles)
+// and the "updateheavy" churn mode. v1 reports parse cleanly with those
+// fields zero, so they remain readable.
+const SchemaVersion = 2
+
+// MinReadSchemaVersion is the oldest report schema ReadArtifact still
+// accepts. v1 reports lack the update-latency fields; Compare skips metrics
+// whose baseline value is absent (zero), so comparisons against v1
+// baselines stay meaningful.
+const MinReadSchemaVersion = 1
 
 // Skew selects the traffic model of a cell.
 type Skew string
@@ -57,8 +69,14 @@ const (
 	// ChurnNone measures a read-only classifier.
 	ChurnNone Churn = "readonly"
 	// ChurnUpdates measures lookups while a writer continuously inserts and
-	// deletes rules through the engine's atomic snapshot swap.
+	// deletes rules through the engine's rebuild-per-update snapshot swap.
 	ChurnUpdates Churn = "churn"
+	// ChurnHeavy measures an update-heavy workload against an engine with
+	// the delta-overlay update subsystem enabled: the writer churns with
+	// minimal pacing and updates flow through the overlay write path rather
+	// than a rebuild. Update latency percentiles (update_p50_ns /
+	// update_p99_ns) are first-class metrics of these cells.
+	ChurnHeavy Churn = "updateheavy"
 )
 
 // Grid is the declarative scenario matrix: its cells are the cross product
@@ -151,6 +169,11 @@ type CellMetrics struct {
 	// Updates is the number of rule updates applied by the churn writer
 	// during measurement (0 for readonly cells).
 	Updates int `json:"updates"`
+	// UpdateP50Nanos / UpdateP99Nanos are update-path latency percentiles
+	// (one sample per Insert or Delete call), 0 for readonly cells and in
+	// schema-v1 reports. Added in schema v2.
+	UpdateP50Nanos float64 `json:"update_p50_ns,omitempty"`
+	UpdateP99Nanos float64 `json:"update_p99_ns,omitempty"`
 	// CacheHitRate is the flow-cache hit fraction in [0,1], or 0 when the
 	// cache is disabled.
 	CacheHitRate float64 `json:"cache_hit_rate"`
@@ -248,6 +271,8 @@ func (r Report) Canonical() Report {
 		m.ThroughputPPS = 0
 		m.AllocsPerOp = 0
 		m.Updates = 0
+		m.UpdateP50Nanos = 0
+		m.UpdateP99Nanos = 0
 		m.CacheHitRate = 0
 	}
 	return out
@@ -272,14 +297,15 @@ func (r *Report) SortCells() {
 }
 
 // CIGrid returns the pinned scenario grid the CI bench gate runs: 3 families
-// x 1 size x 2 skews x 2 churn modes x 2 allocation-free backends = 24
-// cells, small enough to finish in seconds yet covering every axis.
+// x 1 size x 2 skews x 3 churn modes (including the update-heavy overlay
+// cells) x 2 allocation-free backends = 36 cells, small enough to finish in
+// seconds yet covering every axis.
 func CIGrid() Grid {
 	return Grid{
 		Families: []string{"acl1", "fw1", "ipc1"},
 		Sizes:    []int{300},
 		Skews:    []Skew{SkewUniform, SkewZipf},
-		Churns:   []Churn{ChurnNone, ChurnUpdates},
+		Churns:   []Churn{ChurnNone, ChurnUpdates, ChurnHeavy},
 		Backends: []string{"linear", "tss"},
 	}
 }

@@ -109,8 +109,8 @@ func TestRunGoldenDeterministicJSON(t *testing.T) {
 func TestCellNamesAndGridExpansion(t *testing.T) {
 	g := CIGrid()
 	cells := g.Cells()
-	if len(cells) != 24 {
-		t.Fatalf("CI grid has %d cells, want 24", len(cells))
+	if len(cells) != 36 {
+		t.Fatalf("CI grid has %d cells, want 36 (3 families x 1 size x 2 skews x 3 churns x 2 backends)", len(cells))
 	}
 	seen := map[string]bool{}
 	for _, c := range cells {

@@ -54,7 +54,10 @@ func MeasureCell(cell Cell, cfg RunConfig) (CellResult, error) {
 	set := classbench.Generate(fam, cell.Size, cfg.Seed)
 
 	opts := engine.Options{Shards: cfg.Shards, Binth: cfg.Binth, FlowCacheEntries: cfg.FlowCacheEntries,
-		LegacyTreeLookup: cell.Lookup == LookupLegacy}
+		LegacyTreeLookup: cell.Lookup == LookupLegacy,
+		// Update-heavy cells measure the delta-overlay write path; the other
+		// churn mode keeps measuring rebuild-per-update for comparison.
+		OnlineUpdates: cell.Churn == ChurnHeavy}
 	buildStart := time.Now()
 	eng, err := engine.NewEngine(cell.Backend, set, opts)
 	if err != nil {
@@ -93,10 +96,18 @@ func MeasureCell(cell Cell, cfg RunConfig) (CellResult, error) {
 
 	// Churn: a background writer inserts a clone of the hottest rule and
 	// deletes it again, over and over, through the engine's atomic snapshot
-	// swap. Lookups below run against whatever snapshot is current.
-	var stopChurn func() int
-	if cell.Churn == ChurnUpdates {
-		stopChurn = startChurn(eng, set)
+	// swap (a rebuild per update for "churn" cells, the delta overlay for
+	// "updateheavy" cells). Lookups below run against whatever snapshot is
+	// current.
+	var stopChurn func() churnResult
+	if cell.Churn == ChurnUpdates || cell.Churn == ChurnHeavy {
+		pace := 200 * time.Microsecond
+		if cell.Churn == ChurnHeavy {
+			// The overlay write path is cheap; pace just enough that readers
+			// still get scheduled.
+			pace = 20 * time.Microsecond
+		}
+		stopChurn = startChurn(eng, set, pace)
 	}
 
 	// Timing measurements, best of cfg.Runs passes: per-percentile minimum
@@ -147,7 +158,10 @@ func MeasureCell(cell Cell, cfg RunConfig) (CellResult, error) {
 	engine.PutResultBuf(out)
 
 	if stopChurn != nil {
-		m.Updates = stopChurn()
+		cr := stopChurn()
+		m.Updates = cr.updates
+		m.UpdateP50Nanos = cr.p50
+		m.UpdateP99Nanos = cr.p99
 	}
 	if hits, misses := eng.CacheStats(); hits+misses > 0 {
 		m.CacheHitRate = float64(hits) / float64(hits+misses)
@@ -203,22 +217,59 @@ func measureAllocs(eng *engine.Engine, keys []rule.Packet, ops int) float64 {
 	return best
 }
 
+// churnResult is what the background writer reports when stopped: how many
+// updates it applied and the per-update latency percentiles (one sample per
+// Insert or Delete call).
+type churnResult struct {
+	updates  int
+	p50, p99 float64
+}
+
+// maxChurnSamples bounds the writer's latency sample buffer.
+const maxChurnSamples = 1 << 16
+
 // startChurn launches the background writer and returns a function that
-// stops it and reports how many updates were applied.
-func startChurn(eng *engine.Engine, set *rule.Set) func() int {
+// stops it and reports the applied updates and their latency percentiles.
+func startChurn(eng *engine.Engine, set *rule.Set, pace time.Duration) func() churnResult {
 	var stop atomic.Bool
-	doneCh := make(chan int, 1)
+	doneCh := make(chan churnResult, 1)
 	started := make(chan struct{})
 	template := set.Rule(0)
 	go func() {
 		updates := 0
+		// Decimating sampler: when the buffer fills, keep every other
+		// retained sample and double the stride, so the final set covers
+		// the whole run uniformly. Keeping only the first N would bias the
+		// gated percentiles toward the warm-up window and hide late-run
+		// latency regressions.
+		samples := make([]int64, 0, maxChurnSamples)
+		stride, tick := 1, 0
+		record := func(d time.Duration) {
+			tick++
+			if tick%stride != 0 {
+				return
+			}
+			if len(samples) == maxChurnSamples {
+				for i := 0; i < maxChurnSamples/2; i++ {
+					samples[i] = samples[2*i]
+				}
+				samples = samples[:maxChurnSamples/2]
+				stride *= 2
+			}
+			samples = append(samples, d.Nanoseconds())
+		}
 		for !stop.Load() {
+			t0 := time.Now()
 			res, err := eng.Insert(0, template)
+			record(time.Since(t0))
 			if err != nil {
 				break
 			}
 			updates++
-			if _, err := eng.Delete(res.ID); err != nil {
+			t0 = time.Now()
+			_, err = eng.Delete(res.ID)
+			record(time.Since(t0))
+			if err != nil {
 				break
 			}
 			updates++
@@ -232,15 +283,21 @@ func startChurn(eng *engine.Engine, set *rule.Set) func() int {
 			// Pace the writer: back-to-back rebuilds would turn the cell
 			// into a rebuild benchmark and make tail latency depend almost
 			// entirely on swap timing luck.
-			time.Sleep(200 * time.Microsecond)
+			time.Sleep(pace)
 		}
 		if updates < 2 {
 			close(started)
 		}
-		doneCh <- updates
+		res := churnResult{updates: updates}
+		if len(samples) > 0 {
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			res.p50 = percentile(samples, 0.50)
+			res.p99 = percentile(samples, 0.99)
+		}
+		doneCh <- res
 	}()
 	<-started
-	return func() int {
+	return func() churnResult {
 		stop.Store(true)
 		return <-doneCh
 	}

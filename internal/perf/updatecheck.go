@@ -1,0 +1,123 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/engine"
+)
+
+// UpdateSpeedup is the outcome of the update-heavy bench gate: the same
+// single-rule update workload measured against the delta-overlay write path
+// and against rebuild-per-update, on the same backend and rule set.
+type UpdateSpeedup struct {
+	Family  string `json:"family"`
+	Size    int    `json:"size"`
+	Backend string `json:"backend"`
+	Updates int    `json:"updates"`
+	// OverlayP50Nanos is the median single-update latency through the
+	// overlay write path (no backend rebuild).
+	OverlayP50Nanos float64 `json:"overlay_p50_nanos"`
+	// RebuildP50Nanos is the median single-update latency through the
+	// original rebuild-per-update path.
+	RebuildP50Nanos float64 `json:"rebuild_p50_nanos"`
+	// Factor is RebuildP50Nanos / OverlayP50Nanos.
+	Factor float64 `json:"factor"`
+}
+
+// MeasureUpdateSpeedup builds the backend twice over the same generated
+// rule set — once with the online-update subsystem, once without — applies
+// the same insert/delete workload to each, and reports the median
+// per-update latencies. Background compaction is disabled on the overlay
+// engine so the measurement isolates the write path itself (a compaction
+// would only make the rebuild side look better anyway, as it runs off the
+// measured path).
+func MeasureUpdateSpeedup(family string, size int, backend string, updates int, cfg RunConfig) (UpdateSpeedup, error) {
+	cfg = cfg.WithDefaults()
+	if updates <= 0 {
+		updates = 200
+	}
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		return UpdateSpeedup{}, err
+	}
+	res := UpdateSpeedup{Family: family, Size: size, Backend: backend, Updates: updates}
+
+	overlayOpts := engine.Options{Shards: 1, Binth: cfg.Binth, Seed: cfg.Seed,
+		OnlineUpdates: true, CompactThreshold: -1}
+	rebuildOpts := engine.Options{Shards: 1, Binth: cfg.Binth, Seed: cfg.Seed}
+
+	res.OverlayP50Nanos, err = measureUpdateP50(backend, fam, size, cfg.Seed, updates, overlayOpts)
+	if err != nil {
+		return res, fmt.Errorf("perf: overlay update measurement: %w", err)
+	}
+	res.RebuildP50Nanos, err = measureUpdateP50(backend, fam, size, cfg.Seed, updates, rebuildOpts)
+	if err != nil {
+		return res, fmt.Errorf("perf: rebuild update measurement: %w", err)
+	}
+	if res.OverlayP50Nanos > 0 {
+		res.Factor = res.RebuildP50Nanos / res.OverlayP50Nanos
+	}
+	return res, nil
+}
+
+// measureUpdateP50 applies `updates` alternating inserts and deletes to a
+// freshly built engine and returns the median per-update latency. Inserts
+// land at rotating positions so the workload is not a best-case pattern.
+func measureUpdateP50(backend string, fam classbench.Family, size int, seed int64, updates int, opts engine.Options) (float64, error) {
+	set := classbench.Generate(fam, size, seed)
+	eng, err := engine.NewEngine(backend, set, opts)
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	template := set.Rule(0)
+
+	// Warm the write path (pools, maps) with a couple of unmeasured updates.
+	if res, err := eng.Insert(0, template); err != nil {
+		return 0, err
+	} else if _, err := eng.Delete(res.ID); err != nil {
+		return 0, err
+	}
+
+	durations := make([]int64, 0, updates)
+	pending := make([]int, 0, updates/2+1)
+	for len(durations) < updates {
+		pos := (len(durations) * 37) % (eng.Rules().Len() + 1)
+		t0 := time.Now()
+		res, err := eng.Insert(pos, template)
+		durations = append(durations, time.Since(t0).Nanoseconds())
+		if err != nil {
+			return 0, err
+		}
+		pending = append(pending, res.ID)
+		if len(durations) >= updates {
+			break
+		}
+		id := pending[0]
+		pending = pending[1:]
+		t0 = time.Now()
+		_, err = eng.Delete(id)
+		durations = append(durations, time.Since(t0).Nanoseconds())
+		if err != nil {
+			return 0, err
+		}
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	return percentile(durations, 0.50), nil
+}
+
+// CheckUpdateSpeedup asserts the update subsystem's headline claim: the
+// overlay write path's median update latency must beat rebuild-per-update
+// by at least minFactor. It returns a violation message when it does not
+// (the CI bench gate runs this with minFactor 10).
+func CheckUpdateSpeedup(r UpdateSpeedup, minFactor float64) (violation string) {
+	if r.Factor < minFactor {
+		return fmt.Sprintf(
+			"%s_%d_%s: overlay update p50 %.0fns is only %.1fx faster than rebuild-per-update p50 %.0fns (want >= %.0fx)",
+			r.Family, r.Size, r.Backend, r.OverlayP50Nanos, r.Factor, r.RebuildP50Nanos, minFactor)
+	}
+	return ""
+}

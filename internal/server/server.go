@@ -26,8 +26,11 @@
 //	"save <path>\n" -> "ok saved <path>\n"
 //	"load <path>\n" -> "ok version=<v> rules=<n>\n"
 //
-// The special request "stats\n" returns one line of server statistics and
-// "quit\n" closes the connection. One goroutine serves each connection; the
+// The special request "stats\n" returns one line of server statistics
+// (request counters, plus the online-update subsystem's overlay size,
+// tombstones, generation, compaction and journal state when the served
+// engine has it enabled — see UpdaterStatser) and "quit\n" closes the
+// connection. One goroutine serves each connection; the
 // classifier lookup itself is read-only and shared, and updates swap in new
 // snapshots without blocking in-flight lookups.
 package server
@@ -77,6 +80,13 @@ type Updater interface {
 type ArtifactStore interface {
 	SaveArtifact(path string) error
 	LoadArtifact(path string) (engine.UpdateResult, error)
+}
+
+// UpdaterStatser is the optional interface that lets "stats" expose the
+// online-update subsystem's state (overlay size, tombstones, generation,
+// compactions, journal). engine.Engine implements it.
+type UpdaterStatser interface {
+	UpdaterStats() engine.UpdaterStats
 }
 
 // MaxBatch bounds the packet count of one "batch" request.
@@ -317,7 +327,20 @@ func (s *Server) handle(conn *servedConn) {
 func (s *Server) serveLine(scanner *bufio.Scanner, w *bufio.Writer, line string) bool {
 	if line == "stats" {
 		st := s.Stats()
-		fmt.Fprintf(w, "stats requests=%d matches=%d parse-failures=%d\n", st.Requests, st.Matches, st.ParseFails)
+		fmt.Fprintf(w, "stats requests=%d matches=%d parse-failures=%d", st.Requests, st.Matches, st.ParseFails)
+		// The online-update subsystem's state rides on the same line so old
+		// clients that parse the leading fields keep working.
+		if us, ok := s.classifier.(UpdaterStatser); ok {
+			if u := us.UpdaterStats(); u.Enabled {
+				compacting := 0
+				if u.Compacting {
+					compacting = 1
+				}
+				fmt.Fprintf(w, " overlay=%d tombstones=%d rules=%d generation=%d compactions=%d compacting=%d journal-records=%d",
+					u.OverlayRules, u.Tombstones, u.Rules, u.Version, u.Compactions, compacting, u.JournalRecords)
+			}
+		}
+		fmt.Fprintln(w)
 		return w.Flush() == nil
 	}
 	if n, ok := parseBatchHeader(line); ok {

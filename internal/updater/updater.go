@@ -1,0 +1,293 @@
+// Package updater makes rule updates cheap: instead of rebuilding a
+// classifier on every Insert/Delete (the engine's original write path —
+// O(full build + compile) per rule), updates land in a small delta overlay
+// on top of an immutable base classifier.
+//
+// The split is the classic base+delta design TSS-style classifiers use
+// around build-once tree structures:
+//
+//   - Inserts go into a Tuple Space Search overlay (O(1)-ish hash inserts,
+//     no tree rebuild).
+//   - Deletes of base rules become tombstones (a bitset over base rule
+//     indices); deletes of overlay rules simply leave the overlay.
+//   - A merged lookup consults overlay + tombstones + base and resolves
+//     the winner by a global priority rank, staying allocation-free. The
+//     base winner is checked against the tombstone set; only when the
+//     winner was deleted does the lookup rescan the base list (see
+//     LookupFunc for why that cannot be pushed into the base structure).
+//
+// Rank scheme: the base rule at index i anchors at rank (i+1)*rankGap, and
+// every overlay rule receives a rank strictly between its merged-order
+// neighbours' ranks (evenly spaced within the gap). Ranks are re-derived on
+// every update from the logical merged rule list, so a View is a pure
+// function of (base, merged list) — the same derivation serves normal
+// updates, journal replay and post-compaction rebasing. A winner's rank maps
+// back to its canonical merged rule (with its up-to-date index priority) by
+// binary search over the per-View rank array.
+//
+// Views are immutable: the engine publishes each new View through its
+// RCU snapshot machinery, so concurrent readers never see a torn update and
+// never block. A background compactor (driven by the engine) periodically
+// rebuilds the base from the merged list and rebases the overlay, bounding
+// overlay size and restoring base lookup speed.
+//
+// The package also provides the durable update journal (journal.go): a
+// length-prefixed, CRC-checked write-ahead log of updates that, replayed
+// over a saved artifact, gives crash-consistent warm starts.
+package updater
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tss"
+)
+
+// rankGap is the rank distance between consecutive base rules. Up to
+// rankGap-1 overlay rules fit between two adjacent base anchors before rank
+// space is exhausted; compaction keeps overlays orders of magnitude
+// smaller. Ranks are carried through rule.Priority inside the overlay TSS
+// (an int), so the gap also bounds the base size on 32-bit platforms:
+// (len+1)*rankGap must fit a platform int (~32k base rules at 1<<16 on
+// 32-bit; unbounded in practice on 64-bit). NewView checks this and errors
+// rather than overflowing, which makes the engine fall back to
+// rebuild-per-update.
+const rankGap = int64(1) << 16
+
+// maxIntRank is the largest rank representable in a platform int.
+const maxIntRank = int64(^uint(0) >> 1)
+
+// ErrRankSpace is returned by NewView when the overlay rules between two
+// adjacent base anchors no longer fit in the rank gap. The caller should
+// compact (rebuild the base from the merged list) and retry.
+var ErrRankSpace = errors.New("updater: rank space exhausted between base anchors; compaction required")
+
+// LookupFunc is a base classifier's single-packet lookup. The returned
+// rule's Priority must be its index in the base rule set, and the lookup
+// must return the overall best match over the full base rule list —
+// including rules the merged view has tombstoned (the view checks the
+// winner against its tombstone set itself and rescans on a hit). An
+// "optimised" base lookup that skips tombstoned rules internally would be
+// unsound: tree builds prune leaf rules shadowed by higher-priority rules,
+// so the best surviving match can be absent from the structure once its
+// shadower is deleted.
+type LookupFunc func(p rule.Packet) (rule.Rule, bool)
+
+// Base is one immutable base generation: a built classifier, the rule set
+// it was built over, and the ID->index mapping Views need. It is shared by
+// every View derived between two compactions.
+type Base struct {
+	lookup    LookupFunc
+	set       *rule.Set
+	indexByID map[int]int
+}
+
+// NewBase wraps a built classifier as an overlay base. The set must be in
+// canonical form (rule i has Priority i), which every engine-built and
+// artifact-loaded set satisfies.
+func NewBase(set *rule.Set, lookup LookupFunc) (*Base, error) {
+	if lookup == nil {
+		return nil, errors.New("updater: base lookup is nil")
+	}
+	idx := make(map[int]int, set.Len())
+	for i, r := range set.Rules() {
+		if r.Priority != i {
+			return nil, fmt.Errorf("updater: base set not canonical: rule %d has priority %d", i, r.Priority)
+		}
+		if _, dup := idx[r.ID]; dup {
+			return nil, fmt.Errorf("updater: base set has duplicate rule id %d", r.ID)
+		}
+		idx[r.ID] = i
+	}
+	return &Base{lookup: lookup, set: set, indexByID: idx}, nil
+}
+
+// Set returns the base's rule set.
+func (b *Base) Set() *rule.Set { return b.set }
+
+// baseRank is the rank anchor of the base rule at index i.
+func baseRank(i int) int64 { return int64(i+1) * rankGap }
+
+// View is one immutable merged (base + overlay + tombstones) generation.
+// All fields are read-only after NewView; lookups are safe for concurrent
+// use and allocation-free.
+type View struct {
+	base *Base
+	// merged is the logical rule list this view serves (priorities are
+	// indices, as everywhere else in the repository).
+	merged *rule.Set
+	// ranks[i] is the rank of merged rule i; strictly ascending.
+	ranks []int64
+	// overlay holds the non-base rules, each stored with Priority = rank so
+	// TSS's own priority resolution orders overlay rules correctly.
+	overlay  *tss.Classifier
+	overlayN int
+	// tombs is the bitset of deleted base rule indices.
+	tombs  []uint64
+	tombsN int
+}
+
+// NewView derives the immutable serving view for a merged rule list over a
+// base. merged must be canonical (rule i has Priority i) and must preserve
+// the relative order of the base rules it retains. The derivation is one
+// O(len(merged)) pass; overlay rules are re-inserted into a fresh TSS.
+func NewView(b *Base, merged *rule.Set) (*View, error) {
+	if baseRank(b.set.Len()) > maxIntRank {
+		// Every rank in this view is at most the top anchor; refusing here
+		// keeps int(rank) conversions exact on 32-bit platforms (the engine
+		// falls back to rebuild-per-update).
+		return nil, fmt.Errorf("updater: base of %d rules exceeds this platform's int rank space", b.set.Len())
+	}
+	n := merged.Len()
+	v := &View{
+		base:   b,
+		merged: merged,
+		ranks:  make([]int64, n),
+		tombs:  make([]uint64, (b.set.Len()+63)/64),
+	}
+	ov := tss.NewClassifier()
+
+	// Walk the merged list: base rules become rank anchors, runs of overlay
+	// rules between anchors are evenly spaced inside the gap.
+	lastBaseIdx := -1
+	prevRank := int64(0)
+	runStart := -1 // first merged index of the pending overlay run
+	assign := func(hi int64, end int) error {
+		if runStart < 0 {
+			return nil
+		}
+		k := int64(end - runStart)
+		if hi-prevRank <= k {
+			return ErrRankSpace
+		}
+		for j := int64(0); j < k; j++ {
+			rk := prevRank + (hi-prevRank)*(j+1)/(k+1)
+			v.ranks[runStart+int(j)] = rk
+			r := merged.Rule(runStart + int(j))
+			r.Priority = int(rk)
+			if err := ov.Insert(r); err != nil {
+				return fmt.Errorf("updater: overlay insert rule %d: %w", r.ID, err)
+			}
+			v.overlayN++
+		}
+		runStart = -1
+		return nil
+	}
+	live := make([]bool, b.set.Len())
+	for i := 0; i < n; i++ {
+		r := merged.Rule(i)
+		if r.Priority != i {
+			return nil, fmt.Errorf("updater: merged set not canonical: rule %d has priority %d", i, r.Priority)
+		}
+		bi, isBase := b.indexByID[r.ID]
+		if !isBase {
+			if runStart < 0 {
+				runStart = i
+			}
+			continue
+		}
+		if bi <= lastBaseIdx {
+			return nil, fmt.Errorf("updater: merged list reorders base rules (id %d)", r.ID)
+		}
+		anchor := baseRank(bi)
+		if err := assign(anchor, i); err != nil {
+			return nil, err
+		}
+		v.ranks[i] = anchor
+		live[bi] = true
+		lastBaseIdx = bi
+		prevRank = anchor
+	}
+	if err := assign(baseRank(b.set.Len()), n); err != nil {
+		return nil, err
+	}
+	for bi, alive := range live {
+		if !alive {
+			v.tombs[bi>>6] |= 1 << (uint(bi) & 63)
+			v.tombsN++
+		}
+	}
+	v.overlay = ov
+	return v, nil
+}
+
+// Merged returns the logical rule list the view serves.
+func (v *View) Merged() *rule.Set { return v.merged }
+
+// Base returns the view's base generation.
+func (v *View) Base() *Base { return v.base }
+
+// OverlayLen returns the number of rules held in the delta overlay.
+func (v *View) OverlayLen() int { return v.overlayN }
+
+// Tombstones returns the number of tombstoned base rules.
+func (v *View) Tombstones() int { return v.tombsN }
+
+// tombstoned reports whether base rule index bi is deleted.
+func (v *View) tombstoned(bi int) bool {
+	return v.tombs[bi>>6]&(1<<(uint(bi)&63)) != 0
+}
+
+// Classify returns the highest-priority rule of the merged list matching p,
+// or ok=false. The path is allocation-free: one overlay TSS probe, one base
+// lookup (with a tombstone check on its winner), a rank comparison and a
+// binary search back to the canonical merged rule.
+func (v *View) Classify(p rule.Packet) (rule.Rule, bool) {
+	bestRank := int64(math.MaxInt64)
+	found := false
+
+	if v.overlayN > 0 {
+		if r, ok := v.overlay.Classify(p); ok {
+			bestRank = int64(r.Priority) // overlay entries store rank as priority
+			found = true
+		}
+	}
+
+	if r, ok := v.base.lookup(p); ok {
+		bi := r.Priority
+		if v.tombsN > 0 && v.tombstoned(bi) {
+			// The base's best match is deleted: rescan the base list past
+			// the tombstones. This cannot be pushed into the base structure
+			// itself (see LookupFunc); it is the slow path and only runs
+			// when a deleted rule would have won.
+			bi = -1
+			for i := r.Priority + 1; i < v.base.set.Len(); i++ {
+				if v.tombstoned(i) {
+					continue
+				}
+				if v.base.set.Rule(i).Matches(p) {
+					bi = i
+					break
+				}
+			}
+		}
+		if bi >= 0 {
+			if rk := baseRank(bi); rk < bestRank {
+				bestRank = rk
+				found = true
+			}
+		}
+	}
+
+	if !found {
+		return rule.Rule{}, false
+	}
+	// Binary search the winner's rank back to its merged index; the ranks
+	// slice is strictly ascending and contains every live rule's rank.
+	lo, hi := 0, len(v.ranks)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if v.ranks[mid] < bestRank {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(v.ranks) || v.ranks[lo] != bestRank {
+		// Unreachable by construction; fail closed rather than panic.
+		return rule.Rule{}, false
+	}
+	return v.merged.Rule(lo), true
+}
