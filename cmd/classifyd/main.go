@@ -33,6 +33,15 @@
 //	classifyd -query 127.0.0.1:9099 -save /var/lib/classifyd/policy.ncaf
 //	classifyd -query 127.0.0.1:9099 -load /var/lib/classifyd/policy.ncaf
 //
+// Serve several independent rule sets — tables — from one daemon. Each
+// table gets its own engine (backend, rules, journal); v1 clients see the
+// first (default) table, and wire-protocol-v2 clients address any table by
+// name:
+//
+//	classifyd -tables "acl=backend:hicuts,family:acl1,size:1000;fw=backend:tss,family:fw2,size:500"
+//	classifyd -query 127.0.0.1:9099 -proto v2 -list-tables
+//	classifyd -query 127.0.0.1:9099 -proto v2 -table fw -packet "10.0.0.1 192.168.1.1 1234 80 6"
+//
 // On SIGINT/SIGTERM the server shuts down gracefully: in-flight (batch)
 // requests are drained and answered before the process exits 0.
 package main
@@ -84,9 +93,13 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		online    = fs.Bool("online", false, "route live updates through the delta-overlay subsystem instead of rebuild-per-update")
 		journal   = fs.String("journal", "", "durable update journal path (implies -online; replayed at start; 'auto' co-locates with -artifact)")
 		compactAt = fs.Int("compact-threshold", 0, "pending updates that trigger background compaction (0 = default, <0 disables)")
+		tables    = fs.String("tables", "", "serve multiple named tables: \"name=key:val,...;name2=...\" (keys: backend, family, size, rules, artifact, journal, online; first table is the default)")
 		listen    = fs.String("listen", "127.0.0.1:9099", "address to serve on")
 		drain     = fs.Duration("drain-timeout", 5*time.Second, "max time to drain in-flight requests on shutdown")
 		query     = fs.String("query", "", "query a running server at this address instead of serving")
+		proto     = fs.String("proto", "v1", "wire protocol for -query: v1 (text) or v2 (framed binary)")
+		table     = fs.String("table", "", "table name to address with -query (v2 only; empty = default table)")
+		listTabs  = fs.Bool("list-tables", false, "list the server's tables (with -query; v2)")
 		packetStr = fs.String("packet", "", "packet to query: \"src dst sport dport proto\"")
 		addRule   = fs.String("add", "", "ClassBench rule line to insert live (with -query)")
 		pos       = fs.Int("pos", 0, "priority position for -add (0 = top)")
@@ -102,7 +115,19 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	}
 
 	if *query != "" {
-		return runQuery(stdout, *query, *packetStr, *addRule, *pos, *delID, *savePath, *loadPath)
+		q := queryArgs{
+			addr: *query, proto: strings.ToLower(*proto), table: *table, listTables: *listTabs,
+			packet: *packetStr, addRule: *addRule, pos: *pos, delID: *delID,
+			savePath: *savePath, loadPath: *loadPath,
+		}
+		return runQuery(stdout, q)
+	}
+
+	if *tables != "" {
+		return runTables(stdout, *tables, tableDefaults{
+			binth: *binth, timesteps: *timesteps, seed: *seed, shards: *shards,
+			compactAt: *compactAt,
+		}, *listen, *drain, sig)
 	}
 
 	journalPath := *journal
@@ -180,49 +205,151 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	return nil
 }
 
-func runQuery(stdout io.Writer, addr, packetStr, addRule string, pos, delID int, savePath, loadPath string) error {
+// queryArgs bundles the client-mode flags.
+type queryArgs struct {
+	addr       string
+	proto      string
+	table      string
+	listTables bool
+	packet     string
+	addRule    string
+	pos        int
+	delID      int
+	savePath   string
+	loadPath   string
+}
+
+func runQuery(stdout io.Writer, q queryArgs) error {
+	switch q.proto {
+	case "", "v1":
+		if q.table != "" {
+			return fmt.Errorf("-table needs -proto v2 (the v1 text protocol always addresses the default table)")
+		}
+		if q.listTables {
+			return fmt.Errorf("-list-tables needs -proto v2")
+		}
+		return runQueryV1(stdout, q)
+	case "v2":
+		return runQueryV2(stdout, q)
+	default:
+		return fmt.Errorf("unknown -proto %q (want v1 or v2)", q.proto)
+	}
+}
+
+// queryOps is the protocol-independent face of the two wire clients, so
+// the query subcommand's action switch exists once. listTables is nil for
+// v1, which cannot enumerate tables.
+type queryOps struct {
+	classify   func(p rule.Packet) (id, priority int, ok bool, err error)
+	addRule    func(pos int, classBenchLine string) (id int, version uint64, err error)
+	deleteRule func(id int) (version uint64, err error)
+	save       func(path string) error
+	load       func(path string) (version uint64, rules int, err error)
+	listTables func() ([]server.TableInfo, error)
+	close      func() error
+}
+
+func runQueryV1(stdout io.Writer, q queryArgs) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	client, err := server.Dial(ctx, addr)
+	client, err := server.Dial(ctx, q.addr)
 	if err != nil {
 		return err
 	}
-	defer client.Close()
+	return runQueryOps(stdout, q, queryOps{
+		classify:   client.Classify,
+		addRule:    client.AddRule,
+		deleteRule: client.DeleteRule,
+		save:       client.SaveArtifact,
+		load:       client.LoadArtifact,
+		close:      client.Close,
+	})
+}
 
+func runQueryV2(stdout io.Writer, q queryArgs) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := server.DialV2(ctx, q.addr)
+	if err != nil {
+		return err
+	}
+	if q.table != "" {
+		id, err := client.ResolveTable(q.table)
+		if err != nil {
+			client.Close()
+			return err
+		}
+		client.UseTable(id)
+	}
+	return runQueryOps(stdout, q, queryOps{
+		classify: client.Classify,
+		addRule: func(pos int, line string) (int, uint64, error) {
+			// v2 carries rules in binary; parse the ClassBench line here.
+			r, err := rule.ParseClassBenchLine(strings.TrimSpace(line))
+			if err != nil {
+				return 0, 0, err
+			}
+			return client.AddRule(pos, r)
+		},
+		deleteRule: client.DeleteRule,
+		save:       client.SaveArtifact,
+		load:       client.LoadArtifact,
+		listTables: client.ListTables,
+		close:      client.Close,
+	})
+}
+
+// runQueryOps performs the one requested action through the connected
+// client.
+func runQueryOps(stdout io.Writer, q queryArgs, ops queryOps) error {
+	defer ops.close()
 	switch {
-	case addRule != "":
-		id, version, err := client.AddRule(pos, addRule)
+	case q.listTables:
+		tables, err := ops.listTables()
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "added rule id=%d at position %d (version %d)\n", id, pos, version)
+		for _, t := range tables {
+			def := ""
+			if t.Default {
+				def = " (default)"
+			}
+			fmt.Fprintf(stdout, "table %q id=%d%s\n", t.Name, t.ID, def)
+		}
 		return nil
-	case delID >= 0:
-		version, err := client.DeleteRule(delID)
+	case q.addRule != "":
+		id, version, err := ops.addRule(q.pos, q.addRule)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "deleted rule id=%d (version %d)\n", delID, version)
+		fmt.Fprintf(stdout, "added rule id=%d at position %d (version %d)\n", id, q.pos, version)
 		return nil
-	case savePath != "":
-		if err := client.SaveArtifact(savePath); err != nil {
-			return err
-		}
-		fmt.Fprintf(stdout, "server saved artifact to %s\n", savePath)
-		return nil
-	case loadPath != "":
-		version, rules, err := client.LoadArtifact(loadPath)
+	case q.delID >= 0:
+		version, err := ops.deleteRule(q.delID)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "server loaded artifact %s (version %d, %d rules)\n", loadPath, version, rules)
+		fmt.Fprintf(stdout, "deleted rule id=%d (version %d)\n", q.delID, version)
 		return nil
-	case packetStr != "":
-		key, err := server.ParseRequest(packetStr)
+	case q.savePath != "":
+		if err := ops.save(q.savePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "server saved artifact to %s\n", q.savePath)
+		return nil
+	case q.loadPath != "":
+		version, rules, err := ops.load(q.loadPath)
 		if err != nil {
 			return err
 		}
-		id, priority, ok, err := client.Classify(key)
+		fmt.Fprintf(stdout, "server loaded artifact %s (version %d, %d rules)\n", q.loadPath, version, rules)
+		return nil
+	case q.packet != "":
+		key, err := server.ParseRequest(q.packet)
+		if err != nil {
+			return err
+		}
+		id, priority, ok, err := ops.classify(key)
 		if err != nil {
 			return err
 		}
@@ -233,7 +360,7 @@ func runQuery(stdout io.Writer, addr, packetStr, addRule string, pos, delID int,
 		fmt.Fprintf(stdout, "match rule id=%d priority=%d\n", id, priority)
 		return nil
 	default:
-		return fmt.Errorf("-query needs one of -packet, -add, -del, -save or -load")
+		return fmt.Errorf("-query needs one of -packet, -add, -del, -save, -load or -list-tables")
 	}
 }
 

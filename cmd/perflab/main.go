@@ -14,6 +14,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,8 @@ func main() {
 		checkCompiledCmd(os.Args[2:])
 	case "checkupdates":
 		checkUpdatesCmd(os.Args[2:])
+	case "proto":
+		protoCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -56,6 +59,8 @@ func usage() {
   perflab checkcompiled [-in FILE]   assert compiled lookup p50 <= legacy p50 per pair
   perflab checkupdates  [-family F -size N -backend B -updates N -min-factor X]
                         assert the overlay update path beats rebuild-per-update by >= X
+  perflab proto         [-family F -size N -backend B -packets N -batch N -min-factor X]
+                        compare v1 text vs v2 binary server batch throughput
 
 run 'perflab run -h' or 'perflab compare -h' for flags.
 The compiled-vs-legacy grid: perflab run -families acl1 -sizes 300 -skews uniform \
@@ -256,6 +261,68 @@ func checkUpdatesCmd(args []string) {
 		fmt.Fprintln(os.Stderr, "perflab: "+violation)
 		os.Exit(2)
 	}
+}
+
+// protoCmd measures the same batched lookup workload through the v1 text
+// protocol and the v2 binary protocol against one in-process server (the
+// wire-protocol perf cell). With -min-factor > 0 it gates like the other
+// check commands: the measurement is retried on violation, and persistent
+// violations exit 2.
+func protoCmd(args []string) {
+	fs := flag.NewFlagSet("proto", flag.ExitOnError)
+	var (
+		family    = fs.String("family", "acl1", "ClassBench family")
+		size      = fs.Int("size", 1000, "rule-set size")
+		backend   = fs.String("backend", "hicuts", "backend to serve")
+		packets   = fs.Int("packets", 50000, "trace length per measurement pass")
+		batch     = fs.Int("batch", 1024, "packets per batch request")
+		runs      = fs.Int("runs", 3, "measurement passes (best-of)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		minFactor = fs.Float64("min-factor", 0, "required v2/v1 throughput ratio (0 = report only)")
+		retries   = fs.Int("retries", 2, "re-measure up to this many times on violation")
+		out       = fs.String("out", "", "also write the comparison as JSON to this path")
+	)
+	fs.Parse(args)
+
+	var res perf.ProtoComparison
+	var violation string
+	for attempt := 0; ; attempt++ {
+		var err error
+		res, err = perf.MeasureProtoThroughput(*family, *size, *backend, *packets, *batch, *runs, perf.RunConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		violation = perf.CheckProtoThroughput(res, *minFactor)
+		if violation == "" || attempt >= *retries {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "perflab: attempt %d/%d: %s — re-measuring\n", attempt+1, *retries+1, violation)
+	}
+	verdict := "ok"
+	if violation != "" {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("%s_%d_%s  batch=%d  v1 %12.0f pps  v2 %12.0f pps  engine %12.0f pps  v2/v1 %5.2fx  %s\n",
+		res.Family, res.Size, res.Backend, res.BatchSize,
+		res.V1PacketsPerSec, res.V2PacketsPerSec, res.EnginePacketsPerSec, res.Factor, verdict)
+	if *out != "" {
+		if err := writeJSON(*out, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perflab: wrote %s\n", *out)
+	}
+	if violation != "" {
+		fmt.Fprintln(os.Stderr, "perflab: "+violation)
+		os.Exit(2)
+	}
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fatal(err error) {

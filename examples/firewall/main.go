@@ -1,8 +1,9 @@
-// Firewall comparison: build every algorithm in the repository — HiCuts,
-// HyperCuts, EffiCuts, CutSplit and NeuroCuts — over the same firewall-style
-// classifier (the wildcard-heavy workload the paper's introduction motivates
-// with access control and firewall deployments) and compare classification
-// time and memory footprint side by side.
+// Firewall comparison: open every tree algorithm in the repository —
+// HiCuts, HyperCuts, EffiCuts, CutSplit and NeuroCuts — over the same
+// firewall-style classifier (the wildcard-heavy workload the paper's
+// introduction motivates with access control and firewall deployments) and
+// compare classification time and memory footprint side by side, entirely
+// through the public SDK.
 //
 // Run with:
 //
@@ -10,111 +11,64 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
 	"time"
 
-	"neurocuts/internal/classbench"
-	"neurocuts/internal/core"
-	"neurocuts/internal/cutsplit"
-	"neurocuts/internal/efficuts"
-	"neurocuts/internal/env"
-	"neurocuts/internal/hicuts"
-	"neurocuts/internal/hypercuts"
-	"neurocuts/internal/rule"
-	"neurocuts/internal/tree"
+	"neurocuts/pkg/classifier"
 )
 
-type result struct {
-	name     string
-	time     int
-	bytes    float64
-	build    time.Duration
-	classify func(rule.Packet) (rule.Rule, bool)
-}
-
 func main() {
-	family, err := classbench.FamilyByName("fw2")
+	ctx := context.Background()
+	rules, err := classifier.GenerateRules("fw2", 500, 3)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rules := classbench.Generate(family, 500, 3)
 	fmt.Printf("firewall classifier: %d rules\n\n", rules.Len())
 
-	var results []result
-
-	timed := func(name string, build func() (func(rule.Packet) (rule.Rule, bool), tree.Metrics, error)) {
-		start := time.Now()
-		classify, m, err := build()
-		if err != nil {
-			log.Fatalf("%s: %v", name, err)
-		}
-		results = append(results, result{
-			name: name, time: m.ClassificationTime, bytes: m.BytesPerRule,
-			build: time.Since(start), classify: classify,
-		})
+	type result struct {
+		backend string
+		c       *classifier.Classifier
+		build   time.Duration
 	}
-
-	timed("HiCuts", func() (func(rule.Packet) (rule.Rule, bool), tree.Metrics, error) {
-		t, err := hicuts.Build(rules, hicuts.DefaultConfig())
+	var results []result
+	for _, backend := range []string{"hicuts", "hypercuts", "efficuts", "cutsplit", "neurocuts"} {
+		start := time.Now()
+		c, err := classifier.Open(rules,
+			classifier.WithBackend(backend),
+			classifier.WithTrainingBudget(6000), // neurocuts only; ignored elsewhere
+			classifier.WithSeed(11))
 		if err != nil {
-			return nil, tree.Metrics{}, err
+			log.Fatalf("%s: %v", backend, err)
 		}
-		return t.Classify, t.ComputeMetrics(), nil
-	})
-	timed("HyperCuts", func() (func(rule.Packet) (rule.Rule, bool), tree.Metrics, error) {
-		t, err := hypercuts.Build(rules, hypercuts.DefaultConfig())
-		if err != nil {
-			return nil, tree.Metrics{}, err
-		}
-		return t.Classify, t.ComputeMetrics(), nil
-	})
-	timed("EffiCuts", func() (func(rule.Packet) (rule.Rule, bool), tree.Metrics, error) {
-		c, err := efficuts.Build(rules, efficuts.DefaultConfig())
-		if err != nil {
-			return nil, tree.Metrics{}, err
-		}
-		return c.Classify, c.Metrics(), nil
-	})
-	timed("CutSplit", func() (func(rule.Packet) (rule.Rule, bool), tree.Metrics, error) {
-		c, err := cutsplit.Build(rules, cutsplit.DefaultConfig())
-		if err != nil {
-			return nil, tree.Metrics{}, err
-		}
-		return c.Classify, c.Metrics(), nil
-	})
-	timed("NeuroCuts", func() (func(rule.Packet) (rule.Rule, bool), tree.Metrics, error) {
-		cfg := core.Scaled(1000)
-		cfg.TimeSpaceCoeff = 1
-		cfg.Partition = env.PartitionSimple
-		cfg.MaxTimesteps = 6000
-		cfg.BatchTimesteps = 1000
-		cfg.Seed = 11
-		trainer := core.NewTrainer(rules, cfg)
-		if _, err := trainer.Train(); err != nil {
-			return nil, tree.Metrics{}, err
-		}
-		best, _ := trainer.BestTree()
-		return best.Classify, best.ComputeMetrics(), nil
-	})
+		defer c.Close()
+		results = append(results, result{backend: backend, c: c, build: time.Since(start)})
+	}
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "algorithm\tworst-case lookups\tbytes/rule\tbuild time")
 	for _, r := range results {
-		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%s\n", r.name, r.time, r.bytes, r.build.Round(time.Millisecond))
+		m := r.c.Stats().Metrics
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%s\n",
+			classifier.BackendDisplayName(r.backend), m.LookupCost, m.BytesPerRule, r.build.Round(time.Millisecond))
 	}
 	tw.Flush()
 
 	// Every algorithm classifies a shared trace identically (perfect
-	// accuracy by construction).
-	trace := classbench.GenerateTrace(rules, 20000, 5)
+	// accuracy by construction — each agrees with linear search).
+	trace := classifier.GenerateTrace(rules, 20000, 5)
 	for _, r := range results {
-		for _, e := range trace {
-			got, ok := r.classify(e.Key)
-			if !ok || got.Priority != e.MatchRule {
-				log.Fatalf("%s misclassified %v", r.name, e.Key)
+		out, err := r.c.ClassifyBatch(ctx, trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, key := range trace {
+			want, wantOK := rules.Match(key)
+			if out[i].OK != wantOK || (wantOK && out[i].Rule.Priority != want.Priority) {
+				log.Fatalf("%s misclassified %v", r.backend, key)
 			}
 		}
 	}

@@ -1,6 +1,8 @@
-// Quickstart: generate a small classifier, train NeuroCuts on it for a few
-// seconds, and use the learned decision tree to classify packets — both
-// 5-tuple keys and raw wire-format IPv4 headers.
+// Quickstart: embed the classifier SDK in a Go program — generate a small
+// rule set, train NeuroCuts on it for a few seconds, and use the learned
+// decision tree to classify packets, both 5-tuple keys and raw wire-format
+// IPv4 headers. Only the public neurocuts/pkg/classifier API is used; this
+// is exactly what an external program can do.
 //
 // Run with:
 //
@@ -8,70 +10,76 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"neurocuts/internal/classbench"
-	"neurocuts/internal/core"
-	"neurocuts/internal/packet"
-	"neurocuts/internal/rule"
+	"neurocuts/pkg/classifier"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// 1. Get a classifier. Here we generate an ACL-style rule set; in a real
-	//    deployment you would parse one with rule.ParseClassBench.
-	family, err := classbench.FamilyByName("acl1")
+	//    deployment you would parse one with classifier.ParseRules.
+	rules, err := classifier.GenerateRules("acl1", 300, 42)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rules := classbench.Generate(family, 300, 42)
-	fmt.Printf("classifier: %d rules (%s family)\n", rules.Len(), family.Name)
+	fmt.Printf("classifier: %d rules (acl1 family)\n", rules.Len())
 
-	// 2. Train NeuroCuts. Scaled() keeps Table 1's algorithm but shrinks the
-	//    budgets so this example finishes in a few seconds; raise
-	//    MaxTimesteps for better trees.
-	cfg := core.Scaled(1000)
-	cfg.TimeSpaceCoeff = 1.0 // optimise classification time
-	cfg.MaxTimesteps = 3000
-	cfg.BatchTimesteps = 600
-	cfg.Seed = 7
-	trainer := core.NewTrainer(rules, cfg)
-	if _, err := trainer.Train(); err != nil {
+	// 2. Open it with the NeuroCuts backend. The training budget is kept
+	//    small so the example finishes in a few seconds; raise it for better
+	//    trees. WithBackend accepts any name in classifier.Backends().
+	c, err := classifier.Open(rules,
+		classifier.WithBackend("neurocuts"),
+		classifier.WithTrainingBudget(3000),
+		classifier.WithSeed(7))
+	if err != nil {
 		log.Fatal(err)
 	}
-	best, objective := trainer.BestTree()
-	metrics := best.ComputeMetrics()
-	fmt.Printf("learned tree: objective=%.0f  worst-case lookups=%d  bytes/rule=%.1f  nodes=%d\n",
-		objective, metrics.ClassificationTime, metrics.BytesPerRule, metrics.Nodes)
+	defer c.Close()
+	m := c.Stats().Metrics
+	fmt.Printf("learned tree: worst-case lookups=%d  bytes/rule=%.1f\n", m.LookupCost, m.BytesPerRule)
 
 	// 3. Classify 5-tuple keys with the learned tree.
-	trace := classbench.GenerateTrace(rules, 5, 99)
-	for _, entry := range trace {
-		matched, ok := best.Classify(entry.Key)
-		fmt.Printf("  %-55v -> rule #%d (ok=%v)\n", entry.Key, matched.Priority, ok)
+	for _, key := range classifier.GenerateTrace(rules, 5, 99) {
+		match, ok, err := c.Classify(ctx, key)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-55v -> rule #%d (ok=%v)\n", key, match.Priority, ok)
 	}
 
 	// 4. Classify a raw wire-format packet: decode the IPv4/TCP headers into
 	//    a key, then look it up.
-	wire, err := packet.Serialize(rule.Packet{
-		SrcIP: 0x0A000001, DstIP: 0xC0A80101, SrcPort: 44123, DstPort: 443, Proto: packet.ProtoTCP,
+	wire, err := classifier.EncodePacket(classifier.Packet{
+		SrcIP: 0x0A000001, DstIP: 0xC0A80101, SrcPort: 44123, DstPort: 443, Proto: 6,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	key, err := packet.Decode(wire)
+	key, err := classifier.DecodePacket(wire)
 	if err != nil {
 		log.Fatal(err)
 	}
-	matched, ok := best.Classify(key)
-	fmt.Printf("wire packet %v -> rule #%d (ok=%v)\n", key, matched.Priority, ok)
+	match, ok, err := c.Classify(ctx, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wire packet %v -> rule #%d (ok=%v)\n", key, match.Priority, ok)
 
-	// 5. The tree is exact: it always agrees with linear search.
-	check := classbench.UniformTrace(rules, 10000, 1)
-	for _, e := range check {
-		got, ok := best.Classify(e.Key)
-		if !ok || got.Priority != e.MatchRule {
-			log.Fatalf("mismatch on %v", e.Key)
+	// 5. The tree is exact: it always agrees with linear search over the
+	//    rule set, here checked on a batch of 10,000 random packets.
+	check := classifier.GenerateTrace(rules, 10000, 1)
+	results, err := c.ClassifyBatch(ctx, check)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, key := range check {
+		want, wantOK := rules.Match(key)
+		if results[i].OK != wantOK || (wantOK && results[i].Rule.Priority != want.Priority) {
+			log.Fatalf("mismatch on %v", key)
 		}
 	}
 	fmt.Println("verified: tree classification matches linear search on 10,000 random packets")

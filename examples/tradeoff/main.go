@@ -1,6 +1,7 @@
 // Tradeoff: sweep the time-space coefficient c (Equation 5) and show how
 // NeuroCuts interpolates between time-optimised and space-optimised trees —
-// a miniature version of Figure 11.
+// a miniature version of Figure 11, driven entirely through the public SDK's
+// WithTimeSpaceCoeff option.
 //
 // Run with:
 //
@@ -13,39 +14,34 @@ import (
 	"os"
 	"text/tabwriter"
 
-	"neurocuts/internal/classbench"
-	"neurocuts/internal/core"
-	"neurocuts/internal/env"
+	"neurocuts/pkg/classifier"
 )
 
 func main() {
-	family, err := classbench.FamilyByName("ipc1")
+	rules, err := classifier.GenerateRules("ipc1", 300, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rules := classbench.Generate(family, 300, 5)
-	fmt.Printf("classifier: %d rules (%s)\n\n", rules.Len(), family.Name)
+	fmt.Printf("classifier: %d rules (ipc1)\n\n", rules.Len())
 
 	cValues := []float64{0, 0.1, 0.5, 1}
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "c\tworst-case lookups\tbytes/rule\ttree nodes")
+	fmt.Fprintln(tw, "c\tworst-case lookups\tbytes/rule")
 
-	for i, c := range cValues {
-		cfg := core.Scaled(1000)
-		cfg.TimeSpaceCoeff = c
-		cfg.Scale = env.ScaleLog // log scaling makes time and space commensurable
-		cfg.Partition = env.PartitionSimple
-		cfg.MaxTimesteps = 4000
-		cfg.BatchTimesteps = 800
-		cfg.Seed = int64(100 + i)
-
-		trainer := core.NewTrainer(rules, cfg)
-		if _, err := trainer.Train(); err != nil {
+	for i, coeff := range cValues {
+		c, err := classifier.Open(rules,
+			classifier.WithBackend("neurocuts"),
+			classifier.WithTimeSpaceCoeff(coeff),
+			classifier.WithLogReward(), // log scaling makes time and space commensurable
+			classifier.WithSimplePartition(),
+			classifier.WithTrainingBudget(4000),
+			classifier.WithSeed(int64(100+i)))
+		if err != nil {
 			log.Fatal(err)
 		}
-		best, _ := trainer.BestTree()
-		m := best.ComputeMetrics()
-		fmt.Fprintf(tw, "%.1f\t%d\t%.1f\t%d\n", c, m.ClassificationTime, m.BytesPerRule, m.Nodes)
+		m := c.Stats().Metrics
+		fmt.Fprintf(tw, "%.1f\t%d\t%.1f\n", coeff, m.LookupCost, m.BytesPerRule)
+		c.Close()
 	}
 	tw.Flush()
 	fmt.Println("\nc -> 1 favours classification time; c -> 0 favours memory footprint (Figure 11).")

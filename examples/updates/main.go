@@ -1,7 +1,8 @@
-// Updates: demonstrate how a deployed NeuroCuts tree absorbs classifier
-// updates (Section 4 of the paper): small rule insertions and deletions are
-// applied to the existing tree in place without retraining, and the Updater
-// flags when enough updates have accumulated that retraining is worthwhile.
+// Updates: operate a live classifier through the public SDK's online-update
+// subsystem — rule insertions and deletions land in a delta overlay with no
+// rebuild on the write path, a background compactor folds them into the
+// base structure, and a durable journal makes every acknowledged update
+// survive a crash.
 //
 // Run with:
 //
@@ -9,75 +10,87 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
-	"neurocuts/internal/classbench"
-	"neurocuts/internal/core"
-	"neurocuts/internal/rule"
+	"neurocuts/pkg/classifier"
 )
 
 func main() {
-	family, err := classbench.FamilyByName("acl2")
+	ctx := context.Background()
+	rules, err := classifier.GenerateRules("acl2", 300, 9)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rules := classbench.Generate(family, 300, 9)
 	fmt.Printf("initial classifier: %d rules\n", rules.Len())
 
-	// Train once.
-	cfg := core.Scaled(1000)
-	cfg.MaxTimesteps = 3000
-	cfg.BatchTimesteps = 600
-	cfg.Seed = 21
-	trainer := core.NewTrainer(rules, cfg)
-	if _, err := trainer.Train(); err != nil {
+	dir, err := os.MkdirTemp("", "classifier-updates")
+	if err != nil {
 		log.Fatal(err)
 	}
-	best, _ := trainer.BestTree()
-	m := best.ComputeMetrics()
-	fmt.Printf("trained tree: %d worst-case lookups, %.1f bytes/rule\n\n", m.ClassificationTime, m.BytesPerRule)
+	defer os.RemoveAll(dir)
+	journal := filepath.Join(dir, "updates.journal")
 
-	// Operate the tree and apply incremental updates.
-	updater := core.NewUpdater(best, 20)
+	// Open with online updates and a durable journal: inserts and deletes
+	// are acknowledged after hitting the journal, without rebuilding the
+	// tree, and a restart over the same journal replays them.
+	c, err := classifier.Open(rules,
+		classifier.WithBackend("hicuts"),
+		classifier.WithOnlineUpdates(),
+		classifier.WithJournal(journal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	m := c.Stats().Metrics
+	fmt.Printf("built tree: %d worst-case lookups, %.1f bytes/rule\n\n", m.LookupCost, m.BytesPerRule)
 
 	// A new access-control rule for a device that just joined the network:
 	// block TCP/22 to a specific host, with priority above everything else.
-	newRule := rule.NewWildcardRule(-1)
-	newRule.Ranges[rule.DimDstIP] = rule.PrefixRange(0x0A00002A, 32, 32) // 10.0.0.42
-	newRule.Ranges[rule.DimDstPort] = rule.Range{Lo: 22, Hi: 22}
-	newRule.Ranges[rule.DimProto] = rule.Range{Lo: 6, Hi: 6}
-	newRule.ID = 4242
-	if err := updater.InsertRule(newRule); err != nil {
+	newRule := classifier.NewWildcardRule(-1)
+	newRule.Ranges[classifier.DimDstIP] = classifier.PrefixRange(0x0A00002A, 32, 32) // 10.0.0.42
+	newRule.Ranges[classifier.DimDstPort] = classifier.Range{Lo: 22, Hi: 22}
+	newRule.Ranges[classifier.DimProto] = classifier.Range{Lo: 6, Hi: 6}
+	res, err := c.Insert(0, newRule)
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("inserted a new highest-priority rule (block TCP/22 to 10.0.0.42) without retraining")
+	fmt.Println("inserted a new highest-priority rule (block TCP/22 to 10.0.0.42) without rebuilding")
 
 	// The new rule is live immediately.
-	pkt := rule.Packet{SrcIP: 0xC0A80105, DstIP: 0x0A00002A, SrcPort: 50000, DstPort: 22, Proto: 6}
-	matched, ok := best.Classify(pkt)
-	fmt.Printf("  lookup %v -> rule ID %d (ok=%v)\n", pkt, matched.ID, ok)
-	if !ok || matched.ID != 4242 {
+	pkt := classifier.Packet{SrcIP: 0xC0A80105, DstIP: 0x0A00002A, SrcPort: 50000, DstPort: 22, Proto: 6}
+	match, ok, err := c.Classify(ctx, pkt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  lookup %v -> rule ID %d (ok=%v)\n", pkt, match.ID, ok)
+	if !ok || match.ID != res.ID {
 		log.Fatal("the inserted rule should win this lookup")
 	}
 
-	// Retire an old rule.
+	// Retire an old rule: IDs for rules present at Open are their list
+	// positions.
 	victim := rules.Len() / 3
-	removed := updater.RemoveByPriority(victim)
-	fmt.Printf("removed rule #%d from the tree (%d copies cleaned from leaves counted as %d rule)\n",
-		victim, removed, removed)
+	if _, err := c.Delete(victim); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("deleted rule #%d (a tombstone in the overlay; no rebuild)\n", victim)
 
-	// Apply a burst of further updates and watch the retrain signal.
-	for i := 0; i < 25 && !updater.NeedsRetrain(); i++ {
-		r := rule.NewWildcardRule(-(i + 2))
-		r.Ranges[rule.DimSrcPort] = rule.Range{Lo: uint64(30000 + i), Hi: uint64(30000 + i)}
-		r.ID = 5000 + i
-		if err := updater.InsertRule(r); err != nil {
+	// Apply a burst of further updates and watch the pending delta grow;
+	// when it crosses the compaction threshold, a background rebuild folds
+	// it into the base structure off the critical path.
+	for i := 0; i < 25; i++ {
+		r := classifier.NewWildcardRule(-(i + 2))
+		r.Ranges[classifier.DimSrcPort] = classifier.Range{Lo: uint64(30000 + i), Hi: uint64(30000 + i)}
+		if _, err := c.Insert(0, r); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\napplied %d total updates; retraining recommended: %v\n", updater.Updates(), updater.NeedsRetrain())
-	if updater.NeedsRetrain() {
-		fmt.Println("=> at this point a deployment would re-run the trainer on the updated rule set")
-	}
+	st := c.Stats()
+	fmt.Printf("\napplied %d journaled updates; pending in overlay: %d, compactions so far: %d\n",
+		st.JournalRecords, st.PendingUpdates, st.Compactions)
+	fmt.Printf("journal at %s makes every acknowledged update crash-durable\n", st.JournalPath)
 }

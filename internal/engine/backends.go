@@ -227,11 +227,20 @@ func init() {
 	Register("neurocuts", "NeuroCuts", func(set *rule.Set, opts Options) (Classifier, error) {
 		cfg := core.Scaled(1000)
 		cfg.Binth = opts.Binth
+		if opts.TimeSpaceCoeffSet {
+			cfg.TimeSpaceCoeff = opts.TimeSpaceCoeff
+		}
+		if opts.LogReward {
+			cfg.Scale = env.ScaleLog
+		}
 		cfg.MaxTimesteps = opts.Timesteps
 		cfg.BatchTimesteps = maxInt(256, opts.Timesteps/10)
 		cfg.Workers = opts.Workers
 		cfg.Seed = opts.Seed
 		cfg.Partition = env.PartitionNone
+		if opts.SimplePartition {
+			cfg.Partition = env.PartitionSimple
+		}
 		trainer := core.NewTrainer(set, cfg)
 		if _, err := trainer.Train(); err != nil {
 			return nil, err

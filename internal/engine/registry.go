@@ -24,6 +24,21 @@ type Options struct {
 	Workers int
 	// Seed seeds stochastic backends (0 selects 1).
 	Seed int64
+	// TimeSpaceCoeff overrides the NeuroCuts time-space tradeoff coefficient
+	// c (Equation 5 of the paper: 1 optimises classification time, 0 memory
+	// footprint) when TimeSpaceCoeffSet is true. The pair exists because 0
+	// is a meaningful coefficient, so the zero Options value alone cannot
+	// distinguish "unset" from "space-optimised".
+	TimeSpaceCoeff    float64
+	TimeSpaceCoeffSet bool
+	// LogReward makes NeuroCuts scale rewards with f(x) = log(x) instead of
+	// the linear default — the paper's choice whenever c < 1, making time
+	// and space commensurable in the combined objective.
+	LogReward bool
+	// SimplePartition allows NeuroCuts the coverage-threshold partition
+	// action at the top node (the paper's "simple" partitioning); the
+	// default trains a single unpartitioned tree.
+	SimplePartition bool
 	// TCAMExpandLimit bounds per-rule range expansion for the TCAM backend
 	// (0 selects the tcam package default of 1024).
 	TCAMExpandLimit int

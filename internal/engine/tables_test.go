@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/rule"
+)
+
+func newTestEngine(t *testing.T, family string, size int) (*Engine, *rule.Set) {
+	t.Helper()
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, size, 1)
+	eng, err := NewEngine("linear", set, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, set
+}
+
+func TestTablesCreateGetDrop(t *testing.T) {
+	tabs := NewTables()
+	if _, ok := tabs.Default(); ok {
+		t.Fatal("empty manager should have no default")
+	}
+
+	acl, _ := newTestEngine(t, "acl1", 50)
+	fw, _ := newTestEngine(t, "fw1", 50)
+	defer tabs.CloseAll()
+
+	aclTab, err := tabs.Create("acl", acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aclTab.ID == 0 {
+		t.Fatal("table IDs must start at 1 (0 is the wire default sentinel)")
+	}
+	fwTab, err := tabs.Create("fw", fw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fwTab.ID == aclTab.ID {
+		t.Fatal("table IDs must be unique")
+	}
+	if _, err := tabs.Create("acl", fw); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+
+	// First created table is the default, reachable by name, ID and ID 0.
+	if def, ok := tabs.Default(); !ok || def.Name != "acl" {
+		t.Fatalf("default = %v, want acl", def)
+	}
+	if tab, ok := tabs.GetByID(0); !ok || tab.Name != "acl" {
+		t.Fatal("ID 0 must resolve to the default table")
+	}
+	if tab, ok := tabs.GetByID(fwTab.ID); !ok || tab.Name != "fw" {
+		t.Fatal("lookup by ID failed")
+	}
+	if got := tabs.Names(); len(got) != 2 || got[0] != "acl" || got[1] != "fw" {
+		t.Fatalf("Names() = %v", got)
+	}
+
+	// The default table cannot be dropped while others exist.
+	if err := tabs.Drop("acl"); err == nil {
+		t.Fatal("dropping the default table must fail")
+	}
+	if err := tabs.SetDefault("fw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tabs.Drop("acl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tabs.Get("acl"); ok {
+		t.Fatal("dropped table still resolvable")
+	}
+	if _, ok := tabs.GetByID(aclTab.ID); ok {
+		t.Fatal("dropped table still resolvable by ID")
+	}
+	if tabs.Len() != 1 {
+		t.Fatalf("Len() = %d, want 1", tabs.Len())
+	}
+	if err := tabs.Drop("acl"); err == nil {
+		t.Fatal("double drop must fail")
+	}
+	// The last remaining table is necessarily the default and can never be
+	// dropped: a serving manager never loses its v1 / table-0 target.
+	if err := tabs.Drop("fw"); err == nil {
+		t.Fatal("dropping the last (default) table must fail")
+	}
+	if _, ok := tabs.Default(); !ok {
+		t.Fatal("default lost")
+	}
+
+	// Table names are bounded by the wire protocol's one-byte name length.
+	if _, err := tabs.Create(strings.Repeat("x", MaxTableNameLen+1), fw); err == nil {
+		t.Fatal("over-long table name must be rejected")
+	}
+}
+
+func TestTablesSwapKeepsIdentityAndRetiresOldEngine(t *testing.T) {
+	tabs := NewTables()
+	defer tabs.CloseAll()
+	e1, _ := newTestEngine(t, "acl1", 40)
+	e2, _ := newTestEngine(t, "acl2", 40)
+
+	tab1, err := tabs.Create("acl", e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := tabs.Swap("acl", e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab2.ID != tab1.ID {
+		t.Fatalf("swap changed the wire ID: %d -> %d", tab1.ID, tab2.ID)
+	}
+	if got, _ := tabs.Get("acl"); got.Engine != e2 {
+		t.Fatal("swap did not publish the new engine")
+	}
+	// The displaced engine must still serve lookups (it is retired, not
+	// closed) so requests pinned to it can finish.
+	out := make([]Result, 1)
+	e1.ClassifyBatch([]rule.Packet{{}}, out)
+
+	if def, _ := tabs.Default(); def.Engine != e2 {
+		t.Fatal("swap of the default table did not re-point the default")
+	}
+	if _, err := tabs.Swap("nat", e1); err == nil {
+		t.Fatal("swap of a missing table must fail")
+	}
+}
+
+// TestTablesConcurrentAdminAndLookup hammers lookups against concurrent
+// create/swap/drop to prove readers always observe a coherent table map
+// (run with -race).
+func TestTablesConcurrentAdminAndLookup(t *testing.T) {
+	tabs := NewTables()
+	defer tabs.CloseAll()
+	base, set := newTestEngine(t, "acl1", 60)
+	if _, err := tabs.Create("base", base); err != nil {
+		t.Fatal(err)
+	}
+	trace := classbench.GenerateTrace(set, 200, 3)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tab, ok := tabs.GetByID(0)
+				if !ok {
+					t.Error("default table vanished")
+					return
+				}
+				for _, e := range trace {
+					tab.Engine.Classify(e.Key)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		eng, _ := newTestEngine(t, "acl2", 30)
+		if _, err := tabs.Create("scratch", eng); err != nil {
+			t.Fatal(err)
+		}
+		eng2, _ := newTestEngine(t, "fw1", 30)
+		if _, err := tabs.Swap("scratch", eng2); err != nil {
+			t.Fatal(err)
+		}
+		if err := tabs.Drop("scratch"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

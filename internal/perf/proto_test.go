@@ -1,0 +1,28 @@
+package perf
+
+import "testing"
+
+// TestMeasureProtoThroughput smoke-runs the wire-protocol perf cell on a
+// tiny workload: all three rates must come out positive and the JSON-facing
+// fields populated.
+func TestMeasureProtoThroughput(t *testing.T) {
+	res, err := MeasureProtoThroughput("acl1", 100, "tss", 2000, 256, 1, RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.V1PacketsPerSec <= 0 || res.V2PacketsPerSec <= 0 || res.EnginePacketsPerSec <= 0 {
+		t.Fatalf("non-positive rates: %+v", res)
+	}
+	if res.Factor <= 0 {
+		t.Fatalf("factor not derived: %+v", res)
+	}
+	if res.Family != "acl1" || res.Size != 100 || res.Backend != "tss" || res.BatchSize != 256 {
+		t.Fatalf("identity fields wrong: %+v", res)
+	}
+	if v := CheckProtoThroughput(res, 0); v != "" {
+		t.Fatalf("min-factor 0 must never violate, got %q", v)
+	}
+	if v := CheckProtoThroughput(ProtoComparison{Factor: 0.5, V1PacketsPerSec: 1, V2PacketsPerSec: 0.5}, 1); v == "" {
+		t.Fatal("expected a violation below min-factor")
+	}
+}

@@ -316,6 +316,22 @@ func (r Rule) WildcardCount() int {
 	return n
 }
 
+// Validate checks the rule for basic well-formedness: every range must
+// satisfy Lo <= Hi and fit inside its dimension. Set.Validate, the public
+// SDK and the binary wire protocol all gate on this one definition.
+func (r Rule) Validate() error {
+	for _, d := range Dimensions() {
+		rg := r.Ranges[d]
+		if rg.Lo > rg.Hi {
+			return fmt.Errorf("empty range in %s: %s", d, rg)
+		}
+		if rg.Hi > d.MaxValue() {
+			return fmt.Errorf("range %s exceeds %s max %d", rg, d, d.MaxValue())
+		}
+	}
+	return nil
+}
+
 // Equal reports whether two rules have identical ranges (ignoring priority
 // and ID).
 func (r Rule) Equal(o Rule) bool {

@@ -222,19 +222,12 @@ func DistinctValueCount(rules []Rule, d Dimension, box Range) int {
 	return len(seen)
 }
 
-// Validate checks basic well-formedness of the classifier: every range must
-// satisfy Lo <= Hi and fit in its dimension. It returns the first problem
-// found, or nil.
+// Validate checks basic well-formedness of the classifier: every rule must
+// pass Rule.Validate. It returns the first problem found, or nil.
 func (s *Set) Validate() error {
 	for i, r := range s.rules {
-		for _, d := range Dimensions() {
-			rg := r.Ranges[d]
-			if rg.Lo > rg.Hi {
-				return fmt.Errorf("rule %d: empty range in %s: %s", i, d, rg)
-			}
-			if rg.Hi > d.MaxValue() {
-				return fmt.Errorf("rule %d: range %s exceeds %s max %d", i, rg, d, d.MaxValue())
-			}
+		if err := r.Validate(); err != nil {
+			return fmt.Errorf("rule %d: %w", i, err)
 		}
 	}
 	return nil

@@ -1,0 +1,299 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// ClientV2 speaks wire protocol v2 (framed binary, see frame.go) to a
+// classification server. Every method operates on the client's current
+// table (UseTable; the default table, ID 0, initially), so one connection
+// can work many tables. ClientV2 is not safe for concurrent use; open one
+// per goroutine, or pipeline explicitly.
+type ClientV2 struct {
+	conn  net.Conn
+	r     *bufio.Reader
+	w     *bufio.Writer
+	table uint32
+}
+
+// TableInfo describes one table of a multi-table server.
+type TableInfo struct {
+	ID      uint32
+	Name    string
+	Default bool
+}
+
+// DialV2 connects to a classification server speaking protocol v2.
+func DialV2(ctx context.Context, addr string) (*ClientV2, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: dial %s: %w", addr, err)
+	}
+	return &ClientV2{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriterSize(conn, 64<<10)}, nil
+}
+
+// Close closes the connection.
+func (c *ClientV2) Close() error { return c.conn.Close() }
+
+// UseTable selects the table subsequent operations address (0 = the
+// server's default table). Use ResolveTable to map a name to an ID.
+func (c *ClientV2) UseTable(id uint32) { c.table = id }
+
+// Table returns the currently selected table ID.
+func (c *ClientV2) Table() uint32 { return c.table }
+
+// roundTrip sends one frame and reads one response, surfacing OpError
+// responses as errors.
+func (c *ClientV2) roundTrip(f Frame) (Frame, error) {
+	if err := WriteFrame(c.w, f); err != nil {
+		return Frame{}, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return Frame{}, err
+	}
+	return c.readResponse()
+}
+
+func (c *ClientV2) readResponse() (Frame, error) {
+	resp, err := ReadFrame(c.r)
+	if err != nil {
+		return Frame{}, err
+	}
+	if resp.Op == OpError {
+		return Frame{}, fmt.Errorf("server: %s", resp.Payload)
+	}
+	return resp, nil
+}
+
+// Ping round-trips an empty frame (liveness and latency probe).
+func (c *ClientV2) Ping() error {
+	resp, err := c.roundTrip(Frame{Op: OpPing, Table: c.table})
+	if err != nil {
+		return err
+	}
+	if resp.Op != OpPong {
+		return fmt.Errorf("server: unexpected response op %d to ping", resp.Op)
+	}
+	return nil
+}
+
+// ResolveTable returns the ID of the named table.
+func (c *ClientV2) ResolveTable(name string) (uint32, error) {
+	tables, err := c.ListTables()
+	if err != nil {
+		return 0, err
+	}
+	for _, t := range tables {
+		if t.Name == name {
+			return t.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("server: no table named %q", name)
+}
+
+// ListTables returns the server's tables. Single-table servers report one
+// default table on ID 0.
+func (c *ClientV2) ListTables() ([]TableInfo, error) {
+	resp, err := c.roundTrip(Frame{Op: OpListTables, Table: c.table})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Op != OpTableList || len(resp.Payload) < 2 {
+		return nil, errors.New("server: malformed table list")
+	}
+	n := int(binary.LittleEndian.Uint16(resp.Payload[:2]))
+	b := resp.Payload[2:]
+	out := make([]TableInfo, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 6 {
+			return nil, errors.New("server: truncated table list")
+		}
+		info := TableInfo{ID: binary.LittleEndian.Uint32(b[:4]), Default: b[4]&1 != 0}
+		nameLen := int(b[5])
+		b = b[6:]
+		if len(b) < nameLen {
+			return nil, errors.New("server: truncated table name")
+		}
+		info.Name = string(b[:nameLen])
+		b = b[nameLen:]
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// Classify looks one packet up in the current table. It returns the rule ID
+// and priority, or ok=false when no rule matches.
+func (c *ClientV2) Classify(p rule.Packet) (id, priority int, ok bool, err error) {
+	resp, err := c.roundTrip(Frame{Op: OpClassify, Table: c.table,
+		Payload: appendPacket(make([]byte, 0, packedPacketLen), p)})
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if resp.Op != OpResult || len(resp.Payload) != packedResultLen {
+		return 0, 0, false, errors.New("server: malformed classify response")
+	}
+	res := decodeResult(resp.Payload)
+	return res.Rule.ID, res.Rule.Priority, res.OK, nil
+}
+
+// ClassifyBatch classifies all packets against the current table and
+// returns one Result per packet, in order. Batches beyond MaxBatch are
+// split into sequential request/response rounds: each multi-hundred-KB
+// frame is fully answered before the next is written, because the server
+// answers frames serially — writing them all up front could deadlock both
+// ends once the kernel socket buffers fill with unread responses. Callers
+// that want deeper pipelining can issue frames themselves with WriteFrame,
+// sized so the in-flight volume stays within the transport's buffering.
+func (c *ClientV2) ClassifyBatch(ps []rule.Packet) ([]engine.Result, error) {
+	if len(ps) == 0 {
+		return nil, nil
+	}
+	out := make([]engine.Result, 0, len(ps))
+	var payload []byte
+	for lo := 0; lo < len(ps); lo += MaxBatch {
+		hi := lo + MaxBatch
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		payload = binary.LittleEndian.AppendUint32(payload[:0], uint32(hi-lo))
+		for _, p := range ps[lo:hi] {
+			payload = appendPacket(payload, p)
+		}
+		if err := WriteFrame(c.w, Frame{Op: OpBatch, Table: c.table, Payload: payload}); err != nil {
+			return nil, err
+		}
+		if err := c.w.Flush(); err != nil {
+			return nil, err
+		}
+		resp, err := c.readResponse()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Op != OpBatchResult || len(resp.Payload) < 4 {
+			return nil, errors.New("server: malformed batch response")
+		}
+		n := int(binary.LittleEndian.Uint32(resp.Payload[:4]))
+		if len(resp.Payload) != 4+n*packedResultLen {
+			return nil, errors.New("server: truncated batch response")
+		}
+		for j := 0; j < n; j++ {
+			out = append(out, decodeResult(resp.Payload[4+j*packedResultLen:]))
+		}
+	}
+	if len(out) != len(ps) {
+		return nil, fmt.Errorf("server: batch returned %d results for %d packets", len(out), len(ps))
+	}
+	return out, nil
+}
+
+// decodeUpdated unpacks an OpUpdated payload.
+func decodeUpdated(f Frame) (id int, version uint64, rules int, err error) {
+	if f.Op != OpUpdated || len(f.Payload) != 16 {
+		return 0, 0, 0, errors.New("server: malformed update response")
+	}
+	id = int(int32(binary.LittleEndian.Uint32(f.Payload[:4])))
+	version = binary.LittleEndian.Uint64(f.Payload[4:12])
+	rules = int(binary.LittleEndian.Uint32(f.Payload[12:16]))
+	return id, version, rules, nil
+}
+
+// AddRule inserts a rule at priority position pos in the current table and
+// returns the assigned rule ID and new snapshot version. Only the rule's
+// ranges travel; identity is assigned by the server.
+func (c *ClientV2) AddRule(pos int, r rule.Rule) (id int, version uint64, err error) {
+	payload := binary.LittleEndian.AppendUint32(make([]byte, 0, 4+packedRuleLen), uint32(int32(pos)))
+	payload = appendRule(payload, r)
+	resp, err := c.roundTrip(Frame{Op: OpInsert, Table: c.table, Payload: payload})
+	if err != nil {
+		return 0, 0, err
+	}
+	id, version, _, err = decodeUpdated(resp)
+	return id, version, err
+}
+
+// DeleteRule removes the rule with the given ID from the current table.
+func (c *ClientV2) DeleteRule(id int) (version uint64, err error) {
+	payload := binary.LittleEndian.AppendUint32(make([]byte, 0, 4), uint32(int32(id)))
+	resp, err := c.roundTrip(Frame{Op: OpDelete, Table: c.table, Payload: payload})
+	if err != nil {
+		return 0, err
+	}
+	_, version, _, err = decodeUpdated(resp)
+	return version, err
+}
+
+// SaveArtifact asks the server to persist the current table's classifier as
+// a compiled artifact at path (on the server's filesystem).
+func (c *ClientV2) SaveArtifact(path string) error {
+	resp, err := c.roundTrip(Frame{Op: OpSave, Table: c.table, Payload: []byte(path)})
+	if err != nil {
+		return err
+	}
+	_, _, _, err = decodeUpdated(resp)
+	return err
+}
+
+// LoadArtifact asks the server to hot-swap the compiled artifact at path in
+// as the current table's classifier.
+func (c *ClientV2) LoadArtifact(path string) (version uint64, rules int, err error) {
+	resp, err := c.roundTrip(Frame{Op: OpLoad, Table: c.table, Payload: []byte(path)})
+	if err != nil {
+		return 0, 0, err
+	}
+	_, version, rules, err = decodeUpdated(resp)
+	return version, rules, err
+}
+
+// Stats returns the server's one-line stats summary for the current table
+// (the same line the v1 "stats" request produces).
+func (c *ClientV2) Stats() (string, error) {
+	resp, err := c.roundTrip(Frame{Op: OpStats, Table: c.table})
+	if err != nil {
+		return "", err
+	}
+	if resp.Op != OpStatsResult {
+		return "", errors.New("server: malformed stats response")
+	}
+	return string(resp.Payload), nil
+}
+
+// CreateTable asks a multi-table server to create a new table warm-started
+// from the compiled artifact at path (on the server's filesystem). It
+// returns the new table's wire ID and rule count.
+func (c *ClientV2) CreateTable(name, artifactPath string) (id uint32, rules int, err error) {
+	if len(name) > 255 {
+		return 0, 0, errors.New("server: table name too long")
+	}
+	payload := append([]byte{byte(len(name))}, name...)
+	payload = append(payload, artifactPath...)
+	resp, err := c.roundTrip(Frame{Op: OpCreateTable, Table: c.table, Payload: payload})
+	if err != nil {
+		return 0, 0, err
+	}
+	if resp.Op != OpTableInfo || len(resp.Payload) != 8 {
+		return 0, 0, errors.New("server: malformed create-table response")
+	}
+	return binary.LittleEndian.Uint32(resp.Payload[:4]),
+		int(binary.LittleEndian.Uint32(resp.Payload[4:8])), nil
+}
+
+// DropTable asks a multi-table server to drop the table with the given ID.
+func (c *ClientV2) DropTable(id uint32) error {
+	resp, err := c.roundTrip(Frame{Op: OpDropTable, Table: id})
+	if err != nil {
+		return err
+	}
+	if resp.Op != OpTableInfo {
+		return errors.New("server: malformed drop-table response")
+	}
+	return nil
+}

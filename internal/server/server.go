@@ -1,6 +1,9 @@
-// Package server exposes a packet classifier over TCP so that the decision
+// Package server exposes packet classifiers over TCP so that the decision
 // trees built by this repository can be queried by external tools (or by the
-// bundled cmd/classifyd client). The protocol is a plain text line protocol:
+// bundled cmd/classifyd client). Two wire protocols are spoken on one port,
+// selected per connection by its first byte: the framed binary protocol v2
+// (table-addressed, pipelined, CRC-guarded — see frame.go and proto2.go)
+// and the original v1 text line protocol described here:
 //
 //	request:  "<srcIP> <dstIP> <srcPort> <dstPort> <proto>\n"
 //	          where the IPs are dotted quads or decimal integers
@@ -92,9 +95,32 @@ type UpdaterStatser interface {
 // MaxBatch bounds the packet count of one "batch" request.
 const MaxBatch = 65536
 
-// Server serves classification requests over TCP.
+// DefaultBatchReadTimeout bounds how long a handler waits for the rest of a
+// request whose header has been read (a v1 batch body, a v2 frame body).
+// Without it a client that sends "batch 1000\n" and then stalls would pin
+// its connection goroutine — and the engine pool buffers it holds — forever.
+const DefaultBatchReadTimeout = 30 * time.Second
+
+// Server serves classification requests over TCP. Both wire protocols are
+// spoken on the same port: the v1 text protocol described above, and the
+// framed binary protocol v2 (see frame.go), selected per connection by its
+// first byte.
 type Server struct {
 	classifier Classifier
+	// tables, when non-nil, makes this a multi-table server: v1 requests
+	// and v2 frames addressed to table 0 go to the default table, other v2
+	// frames to the table their header names.
+	tables *engine.Tables
+
+	// BatchReadTimeout overrides DefaultBatchReadTimeout when positive; a
+	// negative value disables the deadline. Set it before Listen.
+	BatchReadTimeout time.Duration
+
+	// TableCreateOptions is the engine option base for tables created over
+	// the wire (OpCreateTable), so wire-created tables inherit the daemon's
+	// serving defaults (shards, binth, compaction) instead of zero options.
+	// Set it before Listen; multi-table servers only.
+	TableCreateOptions engine.Options
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -112,9 +138,45 @@ type Server struct {
 	parseFails atomic.Int64
 }
 
-// New creates a server around the classifier.
+// New creates a single-table server around the classifier.
 func New(c Classifier) *Server {
 	return &Server{classifier: c}
+}
+
+// NewTables creates a multi-table server: the v1 text protocol (and v2
+// frames addressed to table 0) serve the manager's default table, and v2
+// frames can address — and administer — every table by ID.
+func NewTables(t *engine.Tables) *Server {
+	return &Server{tables: t}
+}
+
+// tableClassifier resolves the classifier a request addresses. Table 0 is
+// the default table; non-zero IDs exist only on multi-table servers.
+func (s *Server) tableClassifier(id uint32) (Classifier, error) {
+	if s.tables != nil {
+		tab, ok := s.tables.GetByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown table %d", id)
+		}
+		return tab.Engine, nil
+	}
+	if id != 0 {
+		return nil, fmt.Errorf("not a multi-table server (table %d unavailable)", id)
+	}
+	return s.classifier, nil
+}
+
+// batchReadTimeout returns the effective deadline for reading the body of a
+// started request.
+func (s *Server) batchReadTimeout() time.Duration {
+	switch {
+	case s.BatchReadTimeout > 0:
+		return s.BatchReadTimeout
+	case s.BatchReadTimeout < 0:
+		return 0
+	default:
+		return DefaultBatchReadTimeout
+	}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -185,21 +247,35 @@ type servedConn struct {
 	drainOnIdle bool
 }
 
-// beginRequest marks the handler busy and disarms any drain deadline so the
-// request's remaining reads (a batch body) proceed unhindered.
-func (c *servedConn) beginRequest() {
+// beginRequest marks the handler busy and replaces any drain deadline with
+// the body deadline, on both directions: the request's remaining reads (a
+// batch body, a frame body) and its response writes must finish within it,
+// so a client that stalls mid-request — or stops reading responses while
+// its pipelined requests keep the server writing — cannot pin its handler
+// goroutine and the pooled buffers it holds forever. bodyTimeout 0 means
+// no deadline.
+func (c *servedConn) beginRequest(bodyTimeout time.Duration) {
 	c.mu.Lock()
 	c.busy = true
-	c.Conn.SetReadDeadline(time.Time{})
+	if bodyTimeout > 0 {
+		c.Conn.SetDeadline(time.Now().Add(bodyTimeout))
+	} else {
+		c.Conn.SetDeadline(time.Time{})
+	}
 	c.mu.Unlock()
 }
 
 // endRequest marks the handler idle again and reports whether it should
-// exit because a drain started while the request was in flight.
+// exit because a drain started while the request was in flight. When the
+// handler stays, the body deadline is disarmed so the idle wait for the
+// next request is unbounded again.
 func (c *servedConn) endRequest() (draining bool) {
 	c.mu.Lock()
 	c.busy = false
 	draining = c.drainOnIdle
+	if !draining {
+		c.Conn.SetDeadline(time.Time{})
+	}
 	c.mu.Unlock()
 	return draining
 }
@@ -293,13 +369,31 @@ func (s *Server) Stats() Stats {
 }
 
 // handle serves one connection until EOF, "quit", a write error or a
-// drain. Each request is bracketed by the connection's busy state so a
-// concurrent Shutdown never interrupts it mid-request.
+// drain. The wire protocol is selected by the connection's first byte: a
+// frame-magic byte (which no v1 text request can start with) selects the
+// framed binary protocol v2, anything else the v1 text protocol, so v1
+// clients keep working against a v2-capable server unchanged.
 func (s *Server) handle(conn *servedConn) {
 	defer conn.Close()
-	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
+	br := bufio.NewReaderSize(conn, 4096)
+	first, err := br.Peek(1)
+	if err != nil {
+		return
+	}
 	w := bufio.NewWriter(conn)
+	if first[0] == frameMagic[0] {
+		s.handleV2(conn, br, w)
+		return
+	}
+	s.handleV1(conn, br, w)
+}
+
+// handleV1 serves the v1 text protocol. Each request is bracketed by the
+// connection's busy state so a concurrent Shutdown never interrupts it
+// mid-request.
+func (s *Server) handleV1(conn *servedConn, br *bufio.Reader, w *bufio.Writer) {
+	scanner := bufio.NewScanner(br)
+	scanner.Buffer(make([]byte, 0, 4096), 1<<20)
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
 		if line == "" {
@@ -309,7 +403,7 @@ func (s *Server) handle(conn *servedConn) {
 			w.Flush()
 			return
 		}
-		conn.beginRequest()
+		conn.beginRequest(s.batchReadTimeout())
 		ok := s.serveLine(scanner, w, line)
 		draining := conn.endRequest()
 		if !ok {
@@ -322,43 +416,58 @@ func (s *Server) handle(conn *servedConn) {
 	}
 }
 
+// v1Classifier resolves the classifier v1 requests target: the default
+// table on a multi-table server (resolved per request, since Swap can
+// re-point it), the wrapped classifier otherwise.
+func (s *Server) v1Classifier() (Classifier, error) {
+	return s.tableClassifier(0)
+}
+
+// statsLine renders the one-line stats response shared by both protocols.
+func (s *Server) statsLine(cls Classifier) string {
+	st := s.Stats()
+	line := fmt.Sprintf("stats requests=%d matches=%d parse-failures=%d", st.Requests, st.Matches, st.ParseFails)
+	// The online-update subsystem's state rides on the same line so old
+	// clients that parse the leading fields keep working.
+	if us, ok := cls.(UpdaterStatser); ok {
+		if u := us.UpdaterStats(); u.Enabled {
+			compacting := 0
+			if u.Compacting {
+				compacting = 1
+			}
+			line += fmt.Sprintf(" overlay=%d tombstones=%d rules=%d generation=%d compactions=%d compacting=%d journal-records=%d",
+				u.OverlayRules, u.Tombstones, u.Rules, u.Version, u.Compactions, compacting, u.JournalRecords)
+		}
+	}
+	return line
+}
+
 // serveLine answers one request line (reading a batch body from the
 // scanner when needed) and reports whether the connection is still usable.
 func (s *Server) serveLine(scanner *bufio.Scanner, w *bufio.Writer, line string) bool {
+	cls, err := s.v1Classifier()
+	if err != nil {
+		return writeLine(w, "error "+err.Error())
+	}
 	if line == "stats" {
-		st := s.Stats()
-		fmt.Fprintf(w, "stats requests=%d matches=%d parse-failures=%d", st.Requests, st.Matches, st.ParseFails)
-		// The online-update subsystem's state rides on the same line so old
-		// clients that parse the leading fields keep working.
-		if us, ok := s.classifier.(UpdaterStatser); ok {
-			if u := us.UpdaterStats(); u.Enabled {
-				compacting := 0
-				if u.Compacting {
-					compacting = 1
-				}
-				fmt.Fprintf(w, " overlay=%d tombstones=%d rules=%d generation=%d compactions=%d compacting=%d journal-records=%d",
-					u.OverlayRules, u.Tombstones, u.Rules, u.Version, u.Compactions, compacting, u.JournalRecords)
-			}
-		}
-		fmt.Fprintln(w)
-		return w.Flush() == nil
+		return writeLine(w, s.statsLine(cls))
 	}
 	if n, ok := parseBatchHeader(line); ok {
-		return s.handleBatch(scanner, w, n)
+		return s.handleBatch(scanner, w, cls, n)
 	}
 	if rest, ok := strings.CutPrefix(line, "add "); ok {
-		return writeLine(w, s.respondAdd(rest))
+		return writeLine(w, s.respondAdd(cls, rest))
 	}
 	if rest, ok := strings.CutPrefix(line, "del "); ok {
-		return writeLine(w, s.respondDel(rest))
+		return writeLine(w, s.respondDel(cls, rest))
 	}
 	if rest, ok := strings.CutPrefix(line, "save "); ok {
-		return writeLine(w, s.respondSave(rest))
+		return writeLine(w, s.respondSave(cls, rest))
 	}
 	if rest, ok := strings.CutPrefix(line, "load "); ok {
-		return writeLine(w, s.respondLoad(rest))
+		return writeLine(w, s.respondLoad(cls, rest))
 	}
-	return writeLine(w, s.respond(line))
+	return writeLine(w, s.respond(cls, line))
 }
 
 // writeLine writes one response line, reporting whether the connection is
@@ -386,7 +495,7 @@ func parseBatchHeader(line string) (int, bool) {
 // handleBatch reads n packet lines and answers each in order. It reports
 // whether the connection is still usable. Lines that fail to parse yield
 // "error ..." responses in their slot; the rest of the batch still runs.
-func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, n int) bool {
+func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, cls Classifier, n int) bool {
 	if n <= 0 || n > MaxBatch {
 		return writeLine(w, fmt.Sprintf("error batch size must be in [1, %d]", MaxBatch))
 	}
@@ -413,11 +522,11 @@ func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, n int) boo
 	}
 	out := engine.GetResultBuf(n)
 	defer engine.PutResultBuf(out)
-	if bc, ok := s.classifier.(BatchClassifier); ok {
+	if bc, ok := cls.(BatchClassifier); ok {
 		bc.ClassifyBatch(packets, out)
 	} else {
 		for i, p := range packets {
-			out[i].Rule, out[i].OK = s.classifier.Classify(p)
+			out[i].Rule, out[i].OK = cls.Classify(p)
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -440,9 +549,9 @@ func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, n int) boo
 
 // respondAdd handles "add <pos> @<rule>": parse the ClassBench rule line and
 // insert it at priority position pos through the Updater interface.
-func (s *Server) respondAdd(rest string) string {
+func (s *Server) respondAdd(cls Classifier, rest string) string {
 	s.requests.Add(1)
-	up, ok := s.classifier.(Updater)
+	up, ok := cls.(Updater)
 	if !ok {
 		return "error classifier does not support live updates"
 	}
@@ -469,9 +578,9 @@ func (s *Server) respondAdd(rest string) string {
 }
 
 // respondDel handles "del <ruleID>".
-func (s *Server) respondDel(rest string) string {
+func (s *Server) respondDel(cls Classifier, rest string) string {
 	s.requests.Add(1)
-	up, ok := s.classifier.(Updater)
+	up, ok := cls.(Updater)
 	if !ok {
 		return "error classifier does not support live updates"
 	}
@@ -489,9 +598,9 @@ func (s *Server) respondDel(rest string) string {
 
 // respondSave handles "save <path>": persist the served classifier as a
 // compiled artifact through the ArtifactStore interface.
-func (s *Server) respondSave(rest string) string {
+func (s *Server) respondSave(cls Classifier, rest string) string {
 	s.requests.Add(1)
-	st, ok := s.classifier.(ArtifactStore)
+	st, ok := cls.(ArtifactStore)
 	if !ok {
 		return "error classifier does not support artifacts"
 	}
@@ -509,9 +618,9 @@ func (s *Server) respondSave(rest string) string {
 // respondLoad handles "load <path>": hot-swap a compiled artifact in as the
 // served classifier (an RCU snapshot swap; in-flight lookups finish against
 // the old snapshot).
-func (s *Server) respondLoad(rest string) string {
+func (s *Server) respondLoad(cls Classifier, rest string) string {
 	s.requests.Add(1)
-	st, ok := s.classifier.(ArtifactStore)
+	st, ok := cls.(ArtifactStore)
 	if !ok {
 		return "error classifier does not support artifacts"
 	}
@@ -528,14 +637,14 @@ func (s *Server) respondLoad(rest string) string {
 }
 
 // respond processes one request line and returns the response line.
-func (s *Server) respond(line string) string {
+func (s *Server) respond(cls Classifier, line string) string {
 	s.requests.Add(1)
 	p, err := ParseRequest(line)
 	if err != nil {
 		s.parseFails.Add(1)
 		return "error " + err.Error()
 	}
-	r, ok := s.classifier.Classify(p)
+	r, ok := cls.Classify(p)
 	if !ok {
 		return "no-match"
 	}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// startTimeoutServer serves a small engine with a short batch-body deadline
+// and returns the server for direct control.
+func startTimeoutServer(t *testing.T, timeout time.Duration) (*Server, string) {
+	t.Helper()
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 100, 1)
+	eng, err := engine.NewEngine("tss", set, engine.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng)
+	srv.BatchReadTimeout = timeout
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Registered before any client dials, so it runs after their cleanups:
+	// Close waits for handlers, and idle v1 handlers only exit when their
+	// client hangs up.
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+// TestStalledBatchReaderCannotPinWorker is the regression test for the
+// batch-body deadline: a client that announces a batch and then stalls must
+// have its connection cut after BatchReadTimeout — freeing the handler
+// goroutine and the pooled buffers it holds — while the server keeps
+// serving other clients and Close does not hang.
+func TestStalledBatchReaderCannotPinWorker(t *testing.T) {
+	srv, addr := startTimeoutServer(t, 150*time.Millisecond)
+
+	// A well-behaved client, connected before the stall begins.
+	good := dialTest(t, addr)
+
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	// Promise 5 packets, deliver 2, then stall.
+	if _, err := fmt.Fprintf(stalled, "batch 5\n1 2 3 4 5\n6 7 8 9 10\n"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server must give up on the stalled body within the timeout (plus
+	// slack) by closing the connection: the pending read errors instead of
+	// delivering a response line.
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if line, err := bufio.NewReader(stalled).ReadString('\n'); err == nil {
+		t.Fatalf("stalled batch got response %q; expected the connection to be cut", line)
+	}
+
+	// The healthy client was never blocked.
+	if _, _, _, err := good.Classify(rule.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 5}); err != nil {
+		t.Fatalf("healthy client broken after stall: %v", err)
+	}
+	good.Close()
+
+	// Close must not hang on the stalled connection's handler.
+	done := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after a stalled batch reader")
+	}
+}
+
+// TestStalledV2FrameReaderCannotPinWorker is the same regression for v2: a
+// frame header promising a payload that never arrives must not pin the
+// handler.
+func TestStalledV2FrameReaderCannotPinWorker(t *testing.T) {
+	_, addr := startTimeoutServer(t, 150*time.Millisecond)
+
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	// A valid header for a 100-byte payload, but only the header is sent.
+	full := AppendFrame(nil, Frame{Op: OpBatch, Payload: make([]byte, 100)})
+	if _, err := stalled.Write(full[:frameHeaderLen]); err != nil {
+		t.Fatal(err)
+	}
+	stalled.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 64)
+	for {
+		// Whatever the server may emit (an error frame), the connection must
+		// end; a timeout on OUR read means the handler kept waiting for the
+		// body past its deadline.
+		if _, err := stalled.Read(buf); err != nil {
+			if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+				t.Fatal("server kept the stalled v2 connection open past its body deadline")
+			}
+			break // closed by the server: the regression is fixed
+		}
+	}
+
+	// The server still serves fresh v2 connections.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	c, err := DialV2(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("healthy v2 client broken after stall: %v", err)
+	}
+}
+
+// TestIdleConnectionOutlivesBatchTimeout pins the deadline's scope: it must
+// only cover a started request's body, never an idle connection waiting for
+// its next request.
+func TestIdleConnectionOutlivesBatchTimeout(t *testing.T) {
+	_, addr := startTimeoutServer(t, 100*time.Millisecond)
+	c := dialTest(t, addr)
+	if _, _, _, err := c.Classify(rule.Packet{SrcIP: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Sit idle well past the batch timeout, then issue another request on
+	// the same connection.
+	time.Sleep(400 * time.Millisecond)
+	if _, _, _, err := c.Classify(rule.Packet{SrcIP: 1}); err != nil {
+		t.Fatalf("idle connection was killed by the batch-body deadline: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v2, err := DialV2(ctx, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if err := v2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(400 * time.Millisecond)
+	if err := v2.Ping(); err != nil {
+		t.Fatalf("idle v2 connection was killed by the batch-body deadline: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package classifier_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesUseOnlyPublicAPI enforces the SDK boundary: the examples are
+// the embedding story shown to external users, so they must compile against
+// pkg/classifier alone — any neurocuts/internal/... import in an example
+// would showcase an API external programs cannot actually use.
+func TestExamplesUseOnlyPublicAPI(t *testing.T) {
+	examplesDir := filepath.Join("..", "..", "examples")
+	entries, err := os.ReadDir(examplesDir)
+	if err != nil {
+		t.Fatalf("reading examples dir: %v", err)
+	}
+	checked := 0
+	for _, entry := range entries {
+		if !entry.IsDir() {
+			continue
+		}
+		sources, err := filepath.Glob(filepath.Join(examplesDir, entry.Name(), "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range sources {
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, src, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", src, err)
+			}
+			checked++
+			for _, imp := range file.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(path, "neurocuts/internal/") {
+					t.Errorf("%s imports %s; examples must use only neurocuts/pkg/classifier", src, path)
+				}
+			}
+		}
+	}
+	if checked < 4 {
+		t.Fatalf("expected to check at least the 4 example programs, found %d files", checked)
+	}
+}

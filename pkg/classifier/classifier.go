@@ -1,0 +1,304 @@
+// Package classifier is the public SDK for embedding this repository's
+// packet classifiers in external Go programs.
+//
+// It is a stable facade over the internal engine: every registered backend
+// (the learned NeuroCuts trees, HiCuts, HyperCuts, EffiCuts, CutSplit,
+// Tuple Space Search, a TCAM model and the linear-search reference) is
+// reachable through one constructor with functional options, and the types
+// callers need — rules, packets, results — are re-exported here, so no
+// program ever imports neurocuts/internal/... directly.
+//
+// Open builds (or warm-starts) a classifier:
+//
+//	rules, _ := classifier.GenerateRules("acl1", 1000, 1)
+//	c, err := classifier.Open(rules,
+//		classifier.WithBackend("hicuts"),
+//		classifier.WithShards(8))
+//	defer c.Close()
+//
+//	match, ok, err := c.Classify(ctx, classifier.Packet{SrcIP: ..., DstPort: 443, Proto: 6})
+//
+// Lookups are context-aware: Classify checks the context before running,
+// and ClassifyBatch classifies in bounded chunks so cancellation and
+// deadlines take effect mid-batch. Rule updates (Insert, Delete), compiled
+// artifacts (Save, Load, WithArtifact) and the online-update subsystem
+// (WithOnlineUpdates, WithJournal) are the same capabilities the bundled
+// classifyd daemon serves over TCP — see internal/server for the wire
+// protocols and cmd/classifyd for the daemon.
+package classifier
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// Packet is a point in the 5-dimensional classification space: the header
+// fields a classifier inspects (source/destination IP, source/destination
+// port, protocol).
+type Packet = rule.Packet
+
+// Rule is a single classification rule: one inclusive range per dimension
+// plus a priority (lower wins).
+type Rule = rule.Rule
+
+// Range is an inclusive integer interval over one dimension.
+type Range = rule.Range
+
+// Dimension identifies one of the five classification dimensions.
+type Dimension = rule.Dimension
+
+// The five classification dimensions, re-exported for rule construction.
+const (
+	DimSrcIP   = rule.DimSrcIP
+	DimDstIP   = rule.DimDstIP
+	DimSrcPort = rule.DimSrcPort
+	DimDstPort = rule.DimDstPort
+	DimProto   = rule.DimProto
+	// NumDims is the number of classification dimensions.
+	NumDims = rule.NumDims
+)
+
+// RuleSet is an ordered packet classifier: a list of rules where earlier
+// rules have higher priority.
+type RuleSet = rule.Set
+
+// Result is the outcome of classifying one packet in a batch.
+type Result = engine.Result
+
+// Metrics is the backend-independent cost summary a classifier reports
+// (lookup cost, memory footprint, stored entries).
+type Metrics = engine.Metrics
+
+// UpdateResult describes the snapshot published by a successful Insert,
+// Delete or Load.
+type UpdateResult = engine.UpdateResult
+
+// ErrRuleNotFound is wrapped by Delete when no live rule carries the
+// requested ID.
+var ErrRuleNotFound = engine.ErrRuleNotFound
+
+// ErrClosed is returned by operations on a closed Classifier.
+var ErrClosed = errors.New("classifier: closed")
+
+// Classifier is an open classification engine: a built (or artifact-loaded)
+// backend with sharded batch lookup, atomic rule updates and optional
+// online-update durability. Lookups and updates are safe for concurrent
+// use from any number of goroutines. Close releases the classifier's
+// background resources; call it once outstanding operations have returned
+// (operations started after Close fail with ErrClosed).
+type Classifier struct {
+	eng    *engine.Engine
+	closed atomic.Bool
+}
+
+// Open builds a classifier over the rule set. The backend defaults to
+// "hicuts"; pass WithBackend to select another, or WithArtifact to
+// warm-start from a compiled artifact instead of building (rules must then
+// be nil — the artifact embeds its rule set).
+func Open(rules *RuleSet, opts ...Option) (*Classifier, error) {
+	var cfg config
+	cfg.backend = "hicuts"
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.artifact != "" {
+		if rules != nil {
+			return nil, errors.New("classifier: WithArtifact embeds its own rule set; pass nil rules")
+		}
+		eng, err := engine.NewEngineFromArtifact(cfg.artifact, cfg.opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Classifier{eng: eng}, nil
+	}
+	if rules == nil {
+		return nil, errors.New("classifier: nil rule set (pass WithArtifact to open without rules)")
+	}
+	eng, err := engine.NewEngine(cfg.backend, rules, cfg.opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{eng: eng}, nil
+}
+
+// batchChunk bounds how many packets ClassifyBatch hands to the engine
+// between context checks, so a cancellation or deadline takes effect
+// mid-batch instead of only at batch boundaries.
+const batchChunk = 4096
+
+// Classify returns the highest-priority rule matching the packet, or
+// ok=false when no rule matches. It fails without classifying when ctx is
+// already cancelled or past its deadline.
+func (c *Classifier) Classify(ctx context.Context, key Packet) (match Rule, ok bool, err error) {
+	if c.closed.Load() {
+		return Rule{}, false, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return Rule{}, false, err
+	}
+	match, ok = c.eng.Classify(key)
+	return match, ok, nil
+}
+
+// ClassifyBatch classifies every packet against one coherent rule-set
+// snapshot per chunk, sharding large chunks across the engine's worker
+// pool. The context is checked between chunks: on cancellation the results
+// so far are discarded and the context's error returned.
+func (c *Classifier) ClassifyBatch(ctx context.Context, keys []Packet) ([]Result, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	out := make([]Result, len(keys))
+	for lo := 0; lo < len(keys); lo += batchChunk {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		hi := lo + batchChunk
+		if hi > len(keys) {
+			hi = len(keys)
+		}
+		c.eng.ClassifyBatch(keys[lo:hi], out[lo:hi])
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Insert adds a rule at priority position pos (0 = highest priority;
+// out-of-range positions clamp to the nearest bound) and publishes the new
+// snapshot atomically — concurrent lookups are never blocked. The assigned
+// rule ID is returned for a later Delete.
+func (c *Classifier) Insert(pos int, r Rule) (UpdateResult, error) {
+	if c.closed.Load() {
+		return UpdateResult{}, ErrClosed
+	}
+	return c.eng.Insert(pos, r)
+}
+
+// Delete removes the rule with the given ID (as assigned by Insert, or the
+// rule's list index for rules present at Open). Deleting an unknown ID
+// fails with an error wrapping ErrRuleNotFound.
+func (c *Classifier) Delete(id int) (UpdateResult, error) {
+	if c.closed.Load() {
+		return UpdateResult{}, ErrClosed
+	}
+	return c.eng.Delete(id)
+}
+
+// Save persists the classifier as a versioned compiled artifact at path, so
+// a later Open(nil, WithArtifact(path)) — or any classifyd — can serve it
+// without rebuilding or retraining. It is available for tree backends
+// (hicuts, hypercuts, efficuts, cutsplit, neurocuts).
+func (c *Classifier) Save(path string) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return c.eng.SaveArtifact(path)
+}
+
+// Load hot-swaps the compiled artifact at path in as the served classifier
+// (an atomic snapshot swap; in-flight lookups finish against the previous
+// rules).
+func (c *Classifier) Load(path string) (UpdateResult, error) {
+	if c.closed.Load() {
+		return UpdateResult{}, ErrClosed
+	}
+	return c.eng.LoadArtifact(path)
+}
+
+// Stats summarises the classifier's current state: identity, size, cost
+// metrics and — when enabled — the online-update subsystem.
+type Stats struct {
+	// Backend is the registry name of the serving backend.
+	Backend string
+	// Rules is the live rule count.
+	Rules int
+	// Version is the snapshot generation; it increases with every update.
+	Version uint64
+	// Metrics is the backend's cost profile.
+	Metrics Metrics
+	// OnlineUpdates reports whether updates flow through the delta overlay.
+	OnlineUpdates bool
+	// PendingUpdates is the overlay size (inserts plus tombstones) not yet
+	// compacted into the base structure (0 when OnlineUpdates is false).
+	PendingUpdates int
+	// Compactions counts completed background base rebuilds.
+	Compactions uint64
+	// JournalPath and JournalRecords describe the durable update journal
+	// ("" / 0 when journaling is disabled).
+	JournalPath    string
+	JournalRecords int
+}
+
+// Stats returns a point-in-time summary of the classifier.
+func (c *Classifier) Stats() Stats {
+	if c.closed.Load() {
+		return Stats{}
+	}
+	u := c.eng.UpdaterStats()
+	return Stats{
+		Backend:        c.eng.Backend(),
+		Rules:          c.eng.Rules().Len(),
+		Version:        c.eng.Version(),
+		Metrics:        c.eng.Metrics(),
+		OnlineUpdates:  u.Enabled,
+		PendingUpdates: u.OverlayRules + u.Tombstones,
+		Compactions:    u.Compactions,
+		JournalPath:    u.JournalPath,
+		JournalRecords: u.JournalRecords,
+	}
+}
+
+// Rules returns the classifier's current rule list snapshot. The returned
+// set is immutable; updates publish a new one.
+func (c *Classifier) Rules() *RuleSet {
+	if c.closed.Load() {
+		return nil
+	}
+	return c.eng.Rules()
+}
+
+// Backend returns the registry name of the serving backend.
+func (c *Classifier) Backend() string {
+	if c.closed.Load() {
+		return ""
+	}
+	return c.eng.Backend()
+}
+
+// Close releases the classifier's background resources (batch workers, the
+// compactor, the journal). The classifier must not be used afterwards.
+func (c *Classifier) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.eng.Close()
+	return nil
+}
+
+// Backends returns the registered backend names, sorted. Any of them is a
+// valid WithBackend argument.
+func Backends() []string { return engine.Backends() }
+
+// BackendDisplayName returns a backend's human-facing name ("hicuts" ->
+// "HiCuts"), or the input unchanged when the name is not registered.
+func BackendDisplayName(name string) string { return engine.DisplayName(name) }
+
+// JournalPathFor returns the conventional co-located journal path for a
+// compiled artifact (the artifact path plus ".journal").
+func JournalPathFor(artifactPath string) string { return engine.JournalPathFor(artifactPath) }
+
+// Validate checks a rule for basic well-formedness: every range must
+// satisfy Lo <= Hi and fit inside its dimension.
+func Validate(r Rule) error {
+	if err := r.Validate(); err != nil {
+		return fmt.Errorf("classifier: %w", err)
+	}
+	return nil
+}

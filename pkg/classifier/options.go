@@ -1,0 +1,125 @@
+package classifier
+
+import (
+	"time"
+
+	"neurocuts/internal/engine"
+)
+
+// config collects the functional options into the engine's build options.
+type config struct {
+	backend  string
+	artifact string
+	opts     engine.Options
+}
+
+// Option configures Open.
+type Option func(*config)
+
+// WithBackend selects the classification backend by registry name
+// ("neurocuts", "hicuts", "hypercuts", "efficuts", "cutsplit", "tss",
+// "tcam", "linear" — see Backends). The default is "hicuts".
+func WithBackend(name string) Option {
+	return func(c *config) { c.backend = name }
+}
+
+// WithArtifact warm-starts the classifier from a compiled artifact instead
+// of building: the first lookup is served straight from the loaded
+// flat-array form, with no build or train path invoked. Open's rules
+// argument must be nil — the artifact embeds its rule set.
+func WithArtifact(path string) Option {
+	return func(c *config) { c.artifact = path }
+}
+
+// WithOnlineUpdates routes Insert and Delete through the delta-overlay
+// update subsystem: updates land in a small overlay (no backend rebuild on
+// the write path) and a background compactor folds them into the base
+// structure off the critical path. Without it, every update rebuilds the
+// backend synchronously before publishing.
+func WithOnlineUpdates() Option {
+	return func(c *config) { c.opts.OnlineUpdates = true }
+}
+
+// WithJournal enables the durable update journal at path (and implies
+// WithOnlineUpdates): every acknowledged update is appended and synced
+// before its snapshot is published, and an existing journal is replayed at
+// Open for crash-consistent warm starts.
+func WithJournal(path string) Option {
+	return func(c *config) { c.opts.JournalPath = path }
+}
+
+// WithJournalNoSync disables the journal's per-record fsync: updates get
+// faster, but a machine crash may lose the most recently acknowledged
+// records (a process crash alone does not).
+func WithJournalNoSync() Option {
+	return func(c *config) { c.opts.JournalNoSync = true }
+}
+
+// WithCompactThreshold sets the pending-update count (overlay rules plus
+// tombstones) that triggers background compaction. Zero selects the
+// default; negative disables background compaction.
+func WithCompactThreshold(n int) Option {
+	return func(c *config) { c.opts.CompactThreshold = n }
+}
+
+// WithCompactMaxAge compacts a non-empty overlay older than d even below
+// the size threshold, bounding how stale the delta can get on a quiet
+// rule set.
+func WithCompactMaxAge(d time.Duration) Option {
+	return func(c *config) { c.opts.CompactMaxAge = d }
+}
+
+// WithShards sets the batch-lookup shard count (0 selects GOMAXPROCS). It
+// affects only the serving runtime, not the built data structure.
+func WithShards(n int) Option {
+	return func(c *config) { c.opts.Shards = n }
+}
+
+// WithFlowCache enables the sharded flow cache with the given entry budget.
+// The cache memoises (5-tuple -> result) per rule-set version, which pays
+// off on skewed traffic where few flows carry most packets.
+func WithFlowCache(entries int) Option {
+	return func(c *config) { c.opts.FlowCacheEntries = entries }
+}
+
+// WithBinth sets the leaf threshold for tree backends (0 selects the
+// default).
+func WithBinth(n int) Option {
+	return func(c *config) { c.opts.Binth = n }
+}
+
+// WithSeed seeds stochastic backends (NeuroCuts training; 0 selects 1).
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.opts.Seed = seed }
+}
+
+// WithTrainingBudget sets the NeuroCuts training budget in timesteps
+// (neurocuts backend only; 0 selects the default).
+func WithTrainingBudget(timesteps int) Option {
+	return func(c *config) { c.opts.Timesteps = timesteps }
+}
+
+// WithTimeSpaceCoeff sets the NeuroCuts time-space tradeoff coefficient c
+// (Equation 5 of the paper): 1 optimises classification time, 0 memory
+// footprint, values between interpolate.
+func WithTimeSpaceCoeff(coeff float64) Option {
+	return func(c *config) {
+		c.opts.TimeSpaceCoeff = coeff
+		c.opts.TimeSpaceCoeffSet = true
+	}
+}
+
+// WithLogReward makes NeuroCuts scale rewards with f(x) = log(x) instead
+// of the linear default — the paper's choice whenever the time-space
+// coefficient is below 1, keeping classification time and memory footprint
+// commensurable in the combined objective.
+func WithLogReward() Option {
+	return func(c *config) { c.opts.LogReward = true }
+}
+
+// WithSimplePartition allows NeuroCuts the coverage-threshold partition
+// action at the top node (the paper's "simple" partitioning); the default
+// trains a single unpartitioned tree.
+func WithSimplePartition() Option {
+	return func(c *config) { c.opts.SimplePartition = true }
+}

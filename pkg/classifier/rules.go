@@ -1,0 +1,88 @@
+package classifier
+
+import (
+	"io"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/packet"
+	"neurocuts/internal/rule"
+)
+
+// NewRuleSet builds a classifier rule set from rules in priority order
+// (earlier rules win ties). Each rule's Priority and ID are rewritten to
+// its list index.
+func NewRuleSet(rules []Rule) *RuleSet { return rule.NewSet(rules) }
+
+// ParseRules reads a classifier in ClassBench filter-file format (the
+// format of the paper's benchmark suite, e.g. "@10.0.0.0/8 0.0.0.0/0
+// 0 : 65535 80 : 80 0x06/0xFF").
+func ParseRules(r io.Reader) (*RuleSet, error) { return rule.ParseClassBench(r) }
+
+// ParseRule parses one ClassBench-format rule line.
+func ParseRule(line string) (Rule, error) { return rule.ParseClassBenchLine(line) }
+
+// WriteRules writes a rule set in ClassBench filter-file format.
+func WriteRules(w io.Writer, s *RuleSet) error { return rule.WriteClassBench(w, s) }
+
+// FormatRule renders one rule as a ClassBench-format line (the format
+// ParseRule and the classifyd "add" request accept).
+func FormatRule(r Rule) string { return rule.FormatClassBenchLine(r) }
+
+// NewWildcardRule returns a rule matching every packet, ready to be
+// narrowed per dimension (r.Ranges[classifier.DimDstPort] = Range{Lo: 443,
+// Hi: 443}).
+func NewWildcardRule(priority int) Rule { return rule.NewWildcardRule(priority) }
+
+// PrefixRange converts an address/mask-length prefix into a Range over a
+// dimension of the given bit width (32 for IPs, 16 for ports).
+func PrefixRange(addr uint64, prefixLen, bits uint) Range {
+	return rule.PrefixRange(addr, prefixLen, bits)
+}
+
+// ParseIPv4 parses a dotted-quad IPv4 address into the 32-bit value Packet
+// and Rule use.
+func ParseIPv4(s string) (uint32, error) { return rule.ParseIPv4(s) }
+
+// FormatIPv4 renders a 32-bit address in dotted-quad notation.
+func FormatIPv4(addr uint32) string { return rule.FormatIPv4(addr) }
+
+// GenerateRules generates a synthetic classifier of the given ClassBench
+// family ("acl1".."acl5", "fw1".."fw5", "ipc1", "ipc2") and size,
+// deterministically from the seed. Families lists the family names.
+func GenerateRules(family string, size int, seed int64) (*RuleSet, error) {
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		return nil, err
+	}
+	return classbench.Generate(fam, size, seed), nil
+}
+
+// Families returns the ClassBench family names GenerateRules accepts.
+func Families() []string {
+	fams := classbench.Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// GenerateTrace generates n packets drawn from the rule set's match space
+// (every packet matches some rule), deterministically from the seed —
+// useful for exercising and benchmarking a classifier.
+func GenerateTrace(rules *RuleSet, n int, seed int64) []Packet {
+	entries := classbench.GenerateTrace(rules, n, seed)
+	keys := make([]Packet, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+	return keys
+}
+
+// DecodePacket parses a wire-format IPv4 packet (header plus TCP/UDP ports
+// where applicable) into the 5-tuple key classifiers look up.
+func DecodePacket(wire []byte) (Packet, error) { return packet.Decode(wire) }
+
+// EncodePacket serialises a 5-tuple key as a minimal wire-format IPv4
+// packet (the inverse of DecodePacket).
+func EncodePacket(p Packet) ([]byte, error) { return packet.Serialize(p) }
