@@ -58,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"neurocuts/internal/admin"
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
@@ -74,6 +75,29 @@ func main() {
 
 // onListen, when set (by tests), receives the bound listen address.
 var onListen func(net.Addr)
+
+// onAdminListen, when set (by tests), receives the bound admin address.
+var onAdminListen func(net.Addr)
+
+// startAdmin binds the HTTP admin plane when addr is non-empty and returns
+// its shutdown function (a no-op when the plane is disabled). The returned
+// function must run before the classification server drains, so a scrape
+// can never observe a half-shut-down daemon as healthy.
+func startAdmin(stdout io.Writer, addr string, opts admin.Options) (func(context.Context), error) {
+	if addr == "" {
+		return func(context.Context) {}, nil
+	}
+	adm := admin.New(opts)
+	bound, err := adm.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stdout, "classifyd: admin plane on http://%s (/metrics /healthz /readyz /tables /debug/pprof/)\n", bound)
+	if onAdminListen != nil {
+		onAdminListen(bound)
+	}
+	return func(ctx context.Context) { adm.Shutdown(ctx) }, nil
+}
 
 // run is the daemon body, factored out of main so tests can drive it with
 // their own signal channel and capture its output. It returns nil on a
@@ -95,6 +119,7 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		compactAt = fs.Int("compact-threshold", 0, "pending updates that trigger background compaction (0 = default, <0 disables)")
 		tables    = fs.String("tables", "", "serve multiple named tables: \"name=key:val,...;name2=...\" (keys: backend, family, size, rules, artifact, journal, online; first table is the default)")
 		listen    = fs.String("listen", "127.0.0.1:9099", "address to serve on")
+		adminAddr = fs.String("admin", "", "serve the HTTP admin plane (Prometheus /metrics, /healthz, /readyz, /tables, /debug/pprof/) on this address")
 		drain     = fs.Duration("drain-timeout", 5*time.Second, "max time to drain in-flight requests on shutdown")
 		query     = fs.String("query", "", "query a running server at this address instead of serving")
 		proto     = fs.String("proto", "v1", "wire protocol for -query: v1 (text) or v2 (framed binary)")
@@ -127,7 +152,7 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		return runTables(stdout, *tables, tableDefaults{
 			binth: *binth, timesteps: *timesteps, seed: *seed, shards: *shards,
 			compactAt: *compactAt,
-		}, *listen, *drain, sig)
+		}, *listen, *adminAddr, *drain, sig)
 	}
 
 	journalPath := *journal
@@ -186,6 +211,11 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "classifyd: serving %s engine (%d rules) on %s\n",
 		engine.DisplayName(eng.Backend()), eng.Rules().Len(), addr)
+	stopAdmin, err := startAdmin(stdout, *adminAddr, admin.Options{Engine: eng, Server: srv})
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return err
+	}
 	if onListen != nil {
 		onListen(addr)
 	}
@@ -194,6 +224,9 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	fmt.Fprintln(stdout, "classifyd: shutting down, draining in-flight requests")
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	// Admin first: monitoring must stop seeing the daemon as live before the
+	// classification server starts refusing work.
+	stopAdmin(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
 		// A missed drain deadline force-closed stragglers; the daemon still
 		// exits cleanly, but say what happened.

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"neurocuts/internal/admin"
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
@@ -164,7 +165,7 @@ func buildTableEngine(spec tableSpec, d tableDefaults) (*engine.Engine, error) {
 
 // runTables serves a multi-table daemon described by the -tables flag and
 // blocks until a signal arrives, then drains and closes every engine.
-func runTables(stdout io.Writer, spec string, d tableDefaults, listen string, drain time.Duration, sig <-chan os.Signal) error {
+func runTables(stdout io.Writer, spec string, d tableDefaults, listen, adminAddr string, drain time.Duration, sig <-chan os.Signal) error {
 	specs, err := parseTableSpecs(spec)
 	if err != nil {
 		return err
@@ -196,6 +197,11 @@ func runTables(stdout io.Writer, spec string, d tableDefaults, listen string, dr
 	def, _ := tabs.Default()
 	fmt.Fprintf(stdout, "classifyd: serving %d tables on %s (default table %q; v1 text and v2 binary protocols)\n",
 		tabs.Len(), addr, def.Name)
+	stopAdmin, err := startAdmin(stdout, adminAddr, admin.Options{Tables: tabs, Server: srv})
+	if err != nil {
+		srv.Shutdown(context.Background())
+		return err
+	}
 	if onListen != nil {
 		onListen(addr)
 	}
@@ -204,6 +210,9 @@ func runTables(stdout io.Writer, spec string, d tableDefaults, listen string, dr
 	fmt.Fprintln(stdout, "classifyd: shutting down, draining in-flight requests")
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	// Admin first, for the same scrape-consistency reason as the
+	// single-engine path.
+	stopAdmin(ctx)
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(stdout, "classifyd: drain timeout expired, closed remaining connections (%v)\n", err)
 	}

@@ -14,13 +14,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
+	"neurocuts/internal/admin"
+	"neurocuts/internal/engine"
 	"neurocuts/internal/perf"
 )
 
@@ -96,6 +100,7 @@ func runCmd(args []string, defaultOut string) {
 		dir      = fs.String("dir", ".", "directory for -split artifacts")
 		table    = fs.Bool("table", false, "also print the report as a text table")
 		quiet    = fs.Bool("quiet", false, "suppress per-cell progress on stderr")
+		adminAt  = fs.String("admin", "", "serve the HTTP admin plane (live /metrics for the cell under measurement, /debug/pprof/) on this address for the duration of the run")
 	)
 	fs.Parse(args)
 
@@ -115,6 +120,24 @@ func runCmd(args []string, defaultOut string) {
 	progress := os.Stderr
 	if *quiet {
 		progress = nil
+	}
+	if *adminAt != "" {
+		// The admin plane follows the run: each cell re-points the single
+		// engine source at the engine currently under measurement, so a
+		// scrape (or a pprof profile) during a long grid shows live counters
+		// for the cell in flight.
+		adm := admin.New(admin.Options{})
+		bound, err := adm.Listen(*adminAt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perflab: admin plane on http://%s (/metrics /debug/pprof/)\n", bound)
+		cfg.OnEngine = func(cellName string, eng *engine.Engine) { adm.SetEngine(cellName, eng) }
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			adm.Shutdown(ctx)
+		}()
 	}
 	rep, err := perf.Run(grid, cfg, progress)
 	if err != nil {

@@ -1,0 +1,256 @@
+package admin
+
+// promlint.go is a small, dependency-free checker for the Prometheus text
+// exposition format (version 0.0.4). CI and the endpoint tests pipe a live
+// /metrics response through LintMetrics so a formatting regression — a
+// family announced twice, an unescaped label value, an interleaved family,
+// a sample without a TYPE — fails the build instead of silently breaking
+// every scraper pointed at the daemon.
+//
+// It deliberately checks more than the format strictly requires: every
+// sample must belong to a family this document declared, and counters must
+// end in _total. Those are conventions of this repo's exporter, and holding
+// the output to them keeps the exposition predictable for dashboards.
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// validMetricTypes are the exposition format's TYPE values.
+var validMetricTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+// LintMetrics validates a Prometheus text-exposition document. It returns
+// the first violation found, or nil for a clean document.
+func LintMetrics(data []byte) error {
+	text := string(data)
+	if text == "" {
+		return fmt.Errorf("promlint: empty document")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		return fmt.Errorf("promlint: document must end with a newline")
+	}
+
+	types := map[string]string{} // family -> TYPE
+	helped := map[string]bool{}  // family -> HELP seen
+	sampled := map[string]bool{} // family -> samples seen
+	seen := map[string]bool{}    // exact (name + label set) duplicates
+	closed := map[string]bool{}  // family -> sample block ended
+	lastFamily := ""
+
+	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := i + 1
+		if line == "" {
+			return fmt.Errorf("promlint: line %d: empty line", lineNo)
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, lineNo, types, helped, sampled); err != nil {
+				return err
+			}
+			continue
+		}
+		name, labels, valueStr, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("promlint: line %d: %v", lineNo, err)
+		}
+		family := sampleFamily(name)
+		typ, declared := types[family]
+		if !declared {
+			return fmt.Errorf("promlint: line %d: sample %q has no preceding # TYPE", lineNo, name)
+		}
+		if typ == "counter" && !strings.HasSuffix(family, "_total") {
+			return fmt.Errorf("promlint: line %d: counter %q must end in _total", lineNo, family)
+		}
+		if family != lastFamily {
+			if closed[family] {
+				return fmt.Errorf("promlint: line %d: family %q interleaved with other families", lineNo, family)
+			}
+			if lastFamily != "" {
+				closed[lastFamily] = true
+			}
+			lastFamily = family
+		}
+		sampled[family] = true
+		key := name + "|" + strings.Join(labels, "|")
+		if seen[key] {
+			return fmt.Errorf("promlint: line %d: duplicate sample %s{%s}", lineNo, name, strings.Join(labels, ","))
+		}
+		seen[key] = true
+		if _, err := strconv.ParseFloat(valueStr, 64); err != nil {
+			// The format also allows the spelled-out specials.
+			switch valueStr {
+			case "+Inf", "-Inf", "NaN":
+			default:
+				return fmt.Errorf("promlint: line %d: value %q is not a float", lineNo, valueStr)
+			}
+		}
+	}
+	return nil
+}
+
+// lintComment validates a # HELP / # TYPE line (other comments pass).
+func lintComment(line string, lineNo int, types map[string]string, helped, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare "#" comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("promlint: line %d: HELP without a metric name", lineNo)
+		}
+		name := fields[2]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("promlint: line %d: invalid metric name %q", lineNo, name)
+		}
+		if helped[name] {
+			return fmt.Errorf("promlint: line %d: second HELP for %q", lineNo, name)
+		}
+		helped[name] = true
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("promlint: line %d: TYPE needs a metric name and a type", lineNo)
+		}
+		name, typ := fields[2], fields[3]
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("promlint: line %d: invalid metric name %q", lineNo, name)
+		}
+		if !validMetricTypes[typ] {
+			return fmt.Errorf("promlint: line %d: invalid metric type %q", lineNo, typ)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("promlint: line %d: second TYPE for %q", lineNo, name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("promlint: line %d: TYPE for %q after its samples", lineNo, name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+// sampleFamily maps a sample name to its family: histogram and summary
+// samples use suffixed names (_bucket, _sum, _count) under the family's
+// TYPE declaration.
+func sampleFamily(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			return strings.TrimSuffix(name, suffix)
+		}
+	}
+	return name
+}
+
+// parseSample splits one sample line into name, canonical label strings and
+// the value text.
+func parseSample(line string) (name string, labels []string, value string, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if space < 0 {
+		return "", nil, "", fmt.Errorf("no value on sample line")
+	}
+	if brace >= 0 && brace < space {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, "", err
+		}
+		if !strings.HasPrefix(rest, " ") {
+			return "", nil, "", fmt.Errorf("expected space after label set")
+		}
+		rest = rest[1:]
+	} else {
+		name = rest[:space]
+		rest = rest[space+1:]
+	}
+	if !metricNameRe.MatchString(name) {
+		return "", nil, "", fmt.Errorf("invalid metric name %q", name)
+	}
+	// An optional timestamp may follow the value.
+	value = rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		value = rest[:sp]
+		if _, terr := strconv.ParseInt(rest[sp+1:], 10, 64); terr != nil {
+			return "", nil, "", fmt.Errorf("trailing timestamp %q is not an integer", rest[sp+1:])
+		}
+	}
+	if value == "" {
+		return "", nil, "", fmt.Errorf("no value on sample line")
+	}
+	return name, labels, value, nil
+}
+
+// parseLabels consumes a label set after its opening brace, returning the
+// canonical labels and the unconsumed remainder (starting after '}').
+func parseLabels(rest string) (labels []string, remainder string, err error) {
+	for {
+		if strings.HasPrefix(rest, "}") {
+			return labels, rest[1:], nil
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		lname := rest[:eq]
+		if !labelNameRe.MatchString(lname) {
+			return nil, "", fmt.Errorf("invalid label name %q", lname)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return nil, "", fmt.Errorf("label %q value is not quoted", lname)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		for {
+			if rest == "" {
+				return nil, "", fmt.Errorf("unterminated label value for %q", lname)
+			}
+			c := rest[0]
+			switch c {
+			case '\\':
+				if len(rest) < 2 {
+					return nil, "", fmt.Errorf("dangling escape in label %q", lname)
+				}
+				esc := rest[1]
+				switch esc {
+				case '\\', '"':
+					val.WriteByte(esc)
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", esc, lname)
+				}
+				rest = rest[2:]
+				continue
+			case '"':
+				rest = rest[1:]
+			case '\n':
+				return nil, "", fmt.Errorf("raw newline in label %q", lname)
+			default:
+				val.WriteByte(c)
+				rest = rest[1:]
+				continue
+			}
+			break
+		}
+		labels = append(labels, lname+"="+val.String())
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if !strings.HasPrefix(rest, "}") {
+			return nil, "", fmt.Errorf("expected ',' or '}' after label %q", lname)
+		}
+	}
+}

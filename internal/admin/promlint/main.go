@@ -1,0 +1,49 @@
+// Command promlint validates Prometheus text-exposition documents with the
+// repository's own checker (admin.LintMetrics) — the CI admin-plane job
+// lints a live /metrics scrape with it, so no external promtool is needed.
+//
+//	promlint metrics.prom [more.prom ...]   # or read stdin with no args
+//
+// Exit status 1 carries the first violation per file on stderr.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"neurocuts/internal/admin"
+)
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal("stdin", err)
+		}
+		if err := admin.LintMetrics(data); err != nil {
+			fatal("stdin", err)
+		}
+		return
+	}
+	bad := false
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = admin.LintMetrics(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", path, err)
+			bad = true
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func fatal(src string, err error) {
+	fmt.Fprintf(os.Stderr, "promlint: %s: %v\n", src, err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+package admin
+
+import (
+	"strings"
+	"testing"
+)
+
+const cleanDoc = `# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total{table="acl"} 12
+demo_requests_total{table="fw"} 3
+# HELP demo_rules Rules loaded.
+# TYPE demo_rules gauge
+demo_rules 1.5e+03
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 4
+demo_latency_seconds_bucket{le="+Inf"} 9
+demo_latency_seconds_sum 0.8
+demo_latency_seconds_count 9
+`
+
+func TestLintMetricsClean(t *testing.T) {
+	if err := LintMetrics([]byte(cleanDoc)); err != nil {
+		t.Fatalf("clean document rejected: %v", err)
+	}
+	escaped := "# HELP esc_gauge Escapes.\n# TYPE esc_gauge gauge\n" +
+		`esc_gauge{err="path \"x\" broke \\ twice\nline two"} 1` + "\n"
+	if err := LintMetrics([]byte(escaped)); err != nil {
+		t.Fatalf("escaped label values rejected: %v", err)
+	}
+}
+
+func TestLintMetricsViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		doc     string
+		wantErr string
+	}{
+		{"empty", "", "empty document"},
+		{"no-trailing-newline", "# HELP a_total A.\n# TYPE a_total counter\na_total 1", "end with a newline"},
+		{"sample-without-type", "a_gauge 1\n", "no preceding # TYPE"},
+		{"type-after-samples",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge 1\n# TYPE a_gauge gauge\n",
+			"second TYPE"},
+		{"late-type",
+			"# HELP b_gauge B.\n# TYPE b_gauge gauge\nb_gauge 1\n# HELP a_gauge A.\na_gauge 2\n# TYPE a_gauge gauge\n",
+			"no preceding # TYPE"},
+		{"double-help",
+			"# HELP a_gauge A.\n# HELP a_gauge A again.\n# TYPE a_gauge gauge\na_gauge 1\n",
+			"second HELP"},
+		{"bad-type", "# HELP a A.\n# TYPE a wibble\na 1\n", "invalid metric type"},
+		{"counter-without-total",
+			"# HELP a_requests A.\n# TYPE a_requests counter\na_requests 1\n",
+			"must end in _total"},
+		{"interleaved",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\n# HELP b_gauge B.\n# TYPE b_gauge gauge\n" +
+				"a_gauge{t=\"x\"} 1\nb_gauge 2\na_gauge{t=\"y\"} 3\n",
+			"interleaved"},
+		{"duplicate-sample",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge{t=\"x\"} 1\na_gauge{t=\"x\"} 2\n",
+			"duplicate sample"},
+		{"bad-metric-name", "# HELP 1bad A.\n# TYPE 1bad gauge\n1bad 1\n", "invalid metric name"},
+		{"bad-label-name",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge{1t=\"x\"} 1\n",
+			"invalid label name"},
+		{"unquoted-label",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge{t=x} 1\n",
+			"not quoted"},
+		{"unterminated-label",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge{t=\"x} 1\n",
+			"unterminated"},
+		{"bad-escape",
+			"# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge{t=\"\\t\"} 1\n",
+			"invalid escape"},
+		{"bad-value", "# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge one\n", "not a float"},
+		{"no-value", "# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge\n", "no value"},
+		{"blank-line", "# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge 1\n\n", "empty line"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := LintMetrics([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("document accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLintMetricsAcceptsLiveRender pins the renderer and the linter to each
+// other: whatever renderMetrics produces for an empty snapshot must lint.
+func TestLintMetricsAcceptsLiveRender(t *testing.T) {
+	adm := New(Options{})
+	out := renderMetrics(adm.snapshot())
+	if err := LintMetrics(out); err != nil {
+		t.Fatalf("renderMetrics output fails its own lint: %v\n%s", err, out)
+	}
+}

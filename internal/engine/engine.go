@@ -158,6 +158,63 @@ type Engine struct {
 	// overlayDirty is the UnixNano timestamp of the oldest pending overlay
 	// update (0 when the overlay is empty), driving age-based compaction.
 	overlayDirty atomic.Int64
+
+	// Serving counters (see Stats). lookups counts packets classified
+	// through Classify; batches and batchPackets count ClassifyBatch calls
+	// and the packets they carried. They are bumped once per entry-point
+	// call, not per shard chunk, so the per-packet serving cost stays one
+	// uncontended atomic add per call.
+	lookups      atomic.Uint64
+	batches      atomic.Uint64
+	batchPackets atomic.Uint64
+	// updates / updateFailures count Insert+Delete outcomes.
+	updates        atomic.Uint64
+	updateFailures atomic.Uint64
+}
+
+// EngineStats is an operator-visible snapshot of an engine's serving state:
+// identity, counters, flow-cache effectiveness and the online-update
+// subsystem's state. It is what the HTTP admin plane's /metrics endpoint
+// renders (internal/admin), one sample set per table.
+type EngineStats struct {
+	// Backend is the registry name of the backend serving the snapshot.
+	Backend string
+	// Rules is the live (merged) rule count.
+	Rules int
+	// Version is the snapshot generation counter.
+	Version uint64
+	// Lookups is the total number of packets classified (single lookups
+	// plus every packet of every batch).
+	Lookups uint64
+	// Batches is the number of ClassifyBatch calls served.
+	Batches uint64
+	// Updates and UpdateFailures count Insert/Delete outcomes.
+	Updates        uint64
+	UpdateFailures uint64
+	// CacheHits and CacheMisses are the flow cache's cumulative counters
+	// (zero when the engine runs without a cache).
+	CacheHits   uint64
+	CacheMisses uint64
+	// Updater is the online-update subsystem's state.
+	Updater UpdaterStats
+}
+
+// Stats returns a point-in-time snapshot of the engine's serving counters.
+func (e *Engine) Stats() EngineStats {
+	s := e.snap.Load()
+	hits, misses := e.CacheStats()
+	return EngineStats{
+		Backend:        s.backend,
+		Rules:          s.set.Len(),
+		Version:        s.version,
+		Lookups:        e.lookups.Load() + e.batchPackets.Load(),
+		Batches:        e.batches.Load(),
+		Updates:        e.updates.Load(),
+		UpdateFailures: e.updateFailures.Load(),
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		Updater:        e.UpdaterStats(),
+	}
 }
 
 // batchTask is one span of a batch dispatched to a shard worker. The struct
@@ -224,6 +281,7 @@ func (e *Engine) Rules() *rule.Set { return e.snap.Load().set }
 // cache first when one is configured. The path performs zero heap
 // allocations for allocation-free backends (linear, tss).
 func (e *Engine) Classify(p rule.Packet) (rule.Rule, bool) {
+	e.lookups.Add(1)
 	return e.classifyOne(e.snap.Load(), p)
 }
 
@@ -266,6 +324,8 @@ func (e *Engine) Metrics() Metrics { return e.snap.Load().cls.Metrics() }
 func (e *Engine) ClassifyBatch(ps []rule.Packet, out []Result) {
 	snap := e.snap.Load()
 	n := len(ps)
+	e.batches.Add(1)
+	e.batchPackets.Add(uint64(n))
 	if e.shards <= 1 || n < 2*minShardBatch {
 		e.classifyChunk(snap, ps, out)
 		return
@@ -358,6 +418,21 @@ var ErrRuleNotFound = errors.New("rule not found")
 // lands in the delta overlay (no backend rebuild); otherwise the backend is
 // rebuilt off-line.
 func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
+	res, err := e.doInsert(pos, r)
+	e.countUpdate(err)
+	return res, err
+}
+
+// countUpdate bumps the update outcome counters after an Insert or Delete.
+func (e *Engine) countUpdate(err error) {
+	if err != nil {
+		e.updateFailures.Add(1)
+	} else {
+		e.updates.Add(1)
+	}
+}
+
+func (e *Engine) doInsert(pos int, r rule.Rule) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.snap.Load()
@@ -402,6 +477,12 @@ func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
 // online-update subsystem enabled the delete becomes a tombstone (no
 // backend rebuild); otherwise the backend is rebuilt off-line.
 func (e *Engine) Delete(id int) (UpdateResult, error) {
+	res, err := e.doDelete(id)
+	e.countUpdate(err)
+	return res, err
+}
+
+func (e *Engine) doDelete(id int) (UpdateResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	cur := e.snap.Load()

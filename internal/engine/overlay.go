@@ -320,6 +320,11 @@ func (e *Engine) compactOnce() {
 	e.compactions.Add(1)
 	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())
 	e.lastCompactErr.Store(nil)
+	// Restart the age clock: the updates a rebase carries forward arrived
+	// during this rebuild, so their age budget starts now. Keeping the
+	// pre-compaction timestamp would make CompactMaxAge see them as already
+	// old and fire a spurious back-to-back rebuild.
+	e.overlayDirty.Store(0)
 	e.afterOverlayPublish(ns)
 }
 
@@ -400,10 +405,11 @@ type UpdaterStats struct {
 	// is the most recent failure ("" after a success).
 	CompactFailures  uint64
 	LastCompactError string
-	// JournalPath and JournalRecords describe the durable journal ("" / 0
-	// when journaling is disabled).
+	// JournalPath, JournalRecords and JournalBytes describe the durable
+	// journal ("" / 0 when journaling is disabled).
 	JournalPath    string
 	JournalRecords int
+	JournalBytes   int64
 }
 
 // UpdaterStats reports the online-update subsystem's current state.
@@ -430,6 +436,7 @@ func (e *Engine) UpdaterStats() UpdaterStats {
 	if e.journal != nil {
 		st.JournalPath = e.journal.Path()
 		st.JournalRecords = e.journal.Records()
+		st.JournalBytes = e.journal.Bytes()
 	}
 	e.mu.Unlock()
 	return st

@@ -57,6 +57,9 @@ type Tables struct {
 	state   atomic.Pointer[tableState]
 	nextID  uint32
 	retired []retiredEngine
+	// now is the reaper's clock; tests inject a fake one so grace expiry is
+	// deterministic. Set once at construction (NewTables).
+	now func() time.Time
 }
 
 // retiredEngine is one displaced engine awaiting closure.
@@ -89,7 +92,7 @@ func (t *Tables) reapRetiredLocked(now time.Time) {
 
 // NewTables returns an empty table manager.
 func NewTables() *Tables {
-	t := &Tables{nextID: 1}
+	t := &Tables{nextID: 1, now: time.Now}
 	t.state.Store(&tableState{byName: map[string]*Table{}, byID: map[uint32]*Table{}})
 	return t
 }
@@ -139,6 +142,11 @@ func (t *Tables) Create(name string, eng *Engine) (*Table, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	// Every admin mutation reaps: a daemon whose churn is create-only after
+	// the last Swap/Drop must still close the engines those displaced, or
+	// their compactor goroutines, journal fds and classifier memory stay
+	// pinned for the daemon's lifetime.
+	t.reapRetiredLocked(t.now())
 	ns := t.cloneLocked()
 	if _, dup := ns.byName[name]; dup {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
@@ -161,7 +169,7 @@ func (t *Tables) Create(name string, eng *Engine) (*Table, error) {
 func (t *Tables) Swap(name string, eng *Engine) (*Table, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := time.Now()
+	now := t.now()
 	t.reapRetiredLocked(now)
 	ns := t.cloneLocked()
 	old, ok := ns.byName[name]
@@ -188,7 +196,7 @@ func (t *Tables) Swap(name string, eng *Engine) (*Table, error) {
 func (t *Tables) Drop(name string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	now := time.Now()
+	now := t.now()
 	t.reapRetiredLocked(now)
 	ns := t.cloneLocked()
 	old, ok := ns.byName[name]
@@ -210,6 +218,7 @@ func (t *Tables) Drop(name string) error {
 func (t *Tables) SetDefault(name string) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.reapRetiredLocked(t.now())
 	ns := t.cloneLocked()
 	tab, ok := ns.byName[name]
 	if !ok {
@@ -261,6 +270,15 @@ func (t *Tables) List() []*Table {
 
 // Len returns the number of live tables.
 func (t *Tables) Len() int { return len(t.state.Load().byName) }
+
+// RetiredLen returns the number of displaced engines still awaiting the
+// reaper's grace. Exposed for the admin plane's metrics — a value that only
+// grows means retirees are not being reaped.
+func (t *Tables) RetiredLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.retired)
+}
 
 // CloseAll closes every live and retired engine. Call it only after the
 // serving layer has drained (no lookup may be in flight), e.g. after

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/rule"
@@ -185,4 +187,108 @@ func TestTablesConcurrentAdminAndLookup(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// journaledTestEngine builds an engine whose closure is observable: while
+// open, UpdaterStats reports its journal path; Close tears the journal down
+// and the path reads back empty.
+func journaledTestEngine(t *testing.T, dir, name string) *Engine {
+	t.Helper()
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 40, 7)
+	eng, err := NewEngine("linear", set, Options{
+		Shards:           1,
+		CompactThreshold: -1,
+		JournalPath:      filepath.Join(dir, name+".journal"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func engineClosed(e *Engine) bool { return e.UpdaterStats().JournalPath == "" }
+
+// TestTablesReaperLifecycle is the regression test for the reaper gap: only
+// Swap and Drop used to reap, so a daemon whose churn after a swap was
+// create-only (or SetDefault-only) pinned displaced engines forever. Every
+// admin mutation must run the reaper.
+func TestTablesReaperLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	tabs := NewTables()
+	defer tabs.CloseAll()
+	now := time.Unix(1_700_000_000, 0)
+	tabs.now = func() time.Time { return now }
+
+	engA := journaledTestEngine(t, dir, "a")
+	engB := journaledTestEngine(t, dir, "b")
+	engB2 := journaledTestEngine(t, dir, "b2")
+	if _, err := tabs.Create("acl", engA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tabs.Create("fw", engB); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tabs.Swap("fw", engB2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tabs.RetiredLen(); got != 1 {
+		t.Fatalf("RetiredLen after swap = %d, want 1", got)
+	}
+
+	// Within the grace the retiree stays open through any mutation.
+	now = now.Add(retireGrace - time.Second)
+	if _, err := tabs.Create("nat1", journaledTestEngine(t, dir, "n1")); err != nil {
+		t.Fatal(err)
+	}
+	if engineClosed(engB) || tabs.RetiredLen() != 1 {
+		t.Fatal("retiree reaped before its grace expired")
+	}
+
+	// Past the grace, a Create — the churn pattern that used to leak — must
+	// close it.
+	now = now.Add(2 * time.Second)
+	if _, err := tabs.Create("nat2", journaledTestEngine(t, dir, "n2")); err != nil {
+		t.Fatal(err)
+	}
+	if !engineClosed(engB) {
+		t.Fatal("Create did not reap a retiree whose grace had expired")
+	}
+	if got := tabs.RetiredLen(); got != 0 {
+		t.Fatalf("RetiredLen after reaping Create = %d, want 0", got)
+	}
+
+	// SetDefault is a mutation too: it must also reap.
+	engB3 := journaledTestEngine(t, dir, "b3")
+	if _, err := tabs.Swap("fw", engB3); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(retireGrace + time.Second)
+	if err := tabs.SetDefault("fw"); err != nil {
+		t.Fatal(err)
+	}
+	if !engineClosed(engB2) {
+		t.Fatal("SetDefault did not reap a retiree whose grace had expired")
+	}
+
+	// Drop then CloseAll: the dropped engine is closed exactly once by
+	// CloseAll (the deferred one above runs again on an empty manager — both
+	// calls and any direct re-Close must be no-ops, not double-closes).
+	if err := tabs.SetDefault("acl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tabs.Drop("fw"); err != nil {
+		t.Fatal(err)
+	}
+	tabs.CloseAll()
+	for _, e := range []*Engine{engA, engB3} {
+		if !engineClosed(e) {
+			t.Fatal("CloseAll left an engine open")
+		}
+		e.Close() // idempotent
+	}
+	tabs.CloseAll()
 }

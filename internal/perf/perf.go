@@ -19,6 +19,8 @@ package perf
 import (
 	"fmt"
 	"sort"
+
+	"neurocuts/internal/engine"
 )
 
 // SchemaVersion identifies the Report JSON schema. Bump on any
@@ -216,6 +218,12 @@ type RunConfig struct {
 	FlowCacheEntries int `json:"flow_cache_entries"`
 	// Binth is the leaf threshold for tree backends (0 = default).
 	Binth int `json:"binth"`
+	// OnEngine, when set, receives each cell's engine right after it is
+	// built, before measurement — the hook perflab's -admin plane uses to
+	// expose the engine currently under measurement. It is an observer, not
+	// part of the comparable configuration, so it stays out of the JSON
+	// artifact.
+	OnEngine func(cellName string, eng *engine.Engine) `json:"-"`
 }
 
 // WithDefaults fills zero fields with CI-friendly defaults.

@@ -65,6 +65,11 @@ func MeasureCell(cell Cell, cfg RunConfig) (CellResult, error) {
 	}
 	buildNanos := time.Since(buildStart).Nanoseconds()
 	defer eng.Close()
+	if cfg.OnEngine != nil {
+		// Stats reads are atomics, so the observer may keep scraping this
+		// engine even after the cell tears it down.
+		cfg.OnEngine(cell.Name(), eng)
+	}
 
 	keys := cellTrace(cell, set, cfg)
 	if len(keys) == 0 {

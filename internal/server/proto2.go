@@ -183,12 +183,15 @@ func (s *Server) respondFrame(f Frame, bufs *v2Buffers) Frame {
 		return Frame{Op: OpStatsResult, Table: f.Table, Payload: []byte(s.statsLine(cls))}
 	case OpListTables:
 		s.requests.Add(1)
+		s.tableOps.Add(1)
 		return s.frameListTables(f)
 	case OpCreateTable:
 		s.requests.Add(1)
+		s.tableOps.Add(1)
 		return s.frameCreateTable(f)
 	case OpDropTable:
 		s.requests.Add(1)
+		s.tableOps.Add(1)
 		return s.frameDropTable(f)
 	default:
 		return errorFrame(f.Table, fmt.Sprintf("unknown op %d", f.Op))
@@ -235,6 +238,7 @@ func (s *Server) frameBatch(f Frame, bufs *v2Buffers) Frame {
 		return errorFrame(f.Table, fmt.Sprintf("batch payload must be %d bytes for %d packets, got %d", want, n, len(f.Payload)))
 	}
 	s.requests.Add(int64(n))
+	s.batches.Add(1)
 	packets := engine.GetPacketBuf(n)
 	defer engine.PutPacketBuf(packets)
 	body := f.Payload[4:]
@@ -272,6 +276,7 @@ func updatedFrame(table uint32, id int, res engine.UpdateResult) Frame {
 
 func (s *Server) frameInsert(f Frame) Frame {
 	s.requests.Add(1)
+	s.updates.Add(1)
 	cls, err := s.tableClassifier(f.Table)
 	if err != nil {
 		return errorFrame(f.Table, err.Error())
@@ -299,6 +304,7 @@ func (s *Server) frameInsert(f Frame) Frame {
 
 func (s *Server) frameDelete(f Frame) Frame {
 	s.requests.Add(1)
+	s.updates.Add(1)
 	cls, err := s.tableClassifier(f.Table)
 	if err != nil {
 		return errorFrame(f.Table, err.Error())
@@ -321,6 +327,7 @@ func (s *Server) frameDelete(f Frame) Frame {
 
 func (s *Server) frameSave(f Frame) Frame {
 	s.requests.Add(1)
+	s.artifactOps.Add(1)
 	cls, err := s.tableClassifier(f.Table)
 	if err != nil {
 		return errorFrame(f.Table, err.Error())
@@ -342,6 +349,7 @@ func (s *Server) frameSave(f Frame) Frame {
 
 func (s *Server) frameLoad(f Frame) Frame {
 	s.requests.Add(1)
+	s.artifactOps.Add(1)
 	cls, err := s.tableClassifier(f.Table)
 	if err != nil {
 		return errorFrame(f.Table, err.Error())

@@ -1,4 +1,7 @@
-package server
+// This differential test lives in the external test package: it drives the
+// server through pkg/classifier, whose admin plane imports internal/server,
+// so an in-package test would be an import cycle.
+package server_test
 
 import (
 	"context"
@@ -9,6 +12,7 @@ import (
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/server"
 	"neurocuts/pkg/classifier"
 )
 
@@ -60,7 +64,7 @@ func TestProtocolDifferential(t *testing.T) {
 		if _, err := tabs.Create(spec.name, eng); err != nil {
 			t.Fatal(err)
 		}
-		v1 := New(eng)
+		v1 := server.New(eng)
 		addr, err := v1.Listen("127.0.0.1:0")
 		if err != nil {
 			t.Fatal(err)
@@ -68,7 +72,7 @@ func TestProtocolDifferential(t *testing.T) {
 		t.Cleanup(func() { v1.Close() })
 		v1Addrs[spec.name] = addr.String()
 	}
-	multi := NewTables(tabs)
+	multi := server.NewTables(tabs)
 	multiAddr, err := multi.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +108,7 @@ func TestProtocolDifferential(t *testing.T) {
 			}
 
 			// v1 text protocol against this table's dedicated server.
-			v1c, err := Dial(ctx, v1Addrs[spec.name])
+			v1c, err := server.Dial(ctx, v1Addrs[spec.name])
 			if err != nil {
 				t.Errorf("%s: v1 dial: %v", spec.name, err)
 				return
@@ -118,7 +122,7 @@ func TestProtocolDifferential(t *testing.T) {
 
 			// v2 binary protocol against the shared multi-table server,
 			// addressed by table.
-			v2c, err := DialV2(ctx, multiAddr.String())
+			v2c, err := server.DialV2(ctx, multiAddr.String())
 			if err != nil {
 				t.Errorf("%s: v2 dial: %v", spec.name, err)
 				return

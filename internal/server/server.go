@@ -133,9 +133,13 @@ type Server struct {
 	conns map[*servedConn]struct{}
 
 	// counters (atomic).
-	requests   atomic.Int64
-	matches    atomic.Int64
-	parseFails atomic.Int64
+	requests    atomic.Int64
+	matches     atomic.Int64
+	parseFails  atomic.Int64
+	batches     atomic.Int64
+	updates     atomic.Int64
+	artifactOps atomic.Int64
+	tableOps    atomic.Int64
 }
 
 // New creates a single-table server around the classifier.
@@ -352,19 +356,41 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Stats summarises the server's request counters.
+// Stats summarises the server's request counters. Requests counts every
+// classified packet and admin request (the original three fields keep their
+// v1 meanings); the finer-grained counters below slice the same traffic by
+// kind for the admin plane's /metrics endpoint.
 type Stats struct {
 	Requests   int64
 	Matches    int64
 	ParseFails int64
+	// Batches counts batch requests served (v1 "batch" plus v2 OpBatch),
+	// each of which contributes its packet count to Requests.
+	Batches int64
+	// Updates counts live rule updates (v1 add/del, v2 insert/delete).
+	Updates int64
+	// ArtifactOps counts artifact admin requests (save/load).
+	ArtifactOps int64
+	// TableOps counts table admin requests (v2 list/create/drop-table).
+	TableOps int64
+	// ActiveConns is the number of currently connected clients.
+	ActiveConns int64
 }
 
 // Stats returns a snapshot of the counters.
 func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := int64(len(s.conns))
+	s.mu.Unlock()
 	return Stats{
-		Requests:   s.requests.Load(),
-		Matches:    s.matches.Load(),
-		ParseFails: s.parseFails.Load(),
+		Requests:    s.requests.Load(),
+		Matches:     s.matches.Load(),
+		ParseFails:  s.parseFails.Load(),
+		Batches:     s.batches.Load(),
+		Updates:     s.updates.Load(),
+		ArtifactOps: s.artifactOps.Load(),
+		TableOps:    s.tableOps.Load(),
+		ActiveConns: active,
 	}
 }
 
@@ -499,6 +525,7 @@ func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, cls Classi
 	if n <= 0 || n > MaxBatch {
 		return writeLine(w, fmt.Sprintf("error batch size must be in [1, %d]", MaxBatch))
 	}
+	s.batches.Add(1)
 	// Batch buffers come from the engine's pools: handleBatch runs once per
 	// "batch" request, and per-request make() calls dominate the serving
 	// path's allocation profile. The pool clears recycled buffers before
@@ -551,6 +578,7 @@ func (s *Server) handleBatch(scanner *bufio.Scanner, w *bufio.Writer, cls Classi
 // insert it at priority position pos through the Updater interface.
 func (s *Server) respondAdd(cls Classifier, rest string) string {
 	s.requests.Add(1)
+	s.updates.Add(1)
 	up, ok := cls.(Updater)
 	if !ok {
 		return "error classifier does not support live updates"
@@ -580,6 +608,7 @@ func (s *Server) respondAdd(cls Classifier, rest string) string {
 // respondDel handles "del <ruleID>".
 func (s *Server) respondDel(cls Classifier, rest string) string {
 	s.requests.Add(1)
+	s.updates.Add(1)
 	up, ok := cls.(Updater)
 	if !ok {
 		return "error classifier does not support live updates"
@@ -600,6 +629,7 @@ func (s *Server) respondDel(cls Classifier, rest string) string {
 // compiled artifact through the ArtifactStore interface.
 func (s *Server) respondSave(cls Classifier, rest string) string {
 	s.requests.Add(1)
+	s.artifactOps.Add(1)
 	st, ok := cls.(ArtifactStore)
 	if !ok {
 		return "error classifier does not support artifacts"
@@ -620,6 +650,7 @@ func (s *Server) respondSave(cls Classifier, rest string) string {
 // the old snapshot).
 func (s *Server) respondLoad(cls Classifier, rest string) string {
 	s.requests.Add(1)
+	s.artifactOps.Add(1)
 	st, ok := cls.(ArtifactStore)
 	if !ok {
 		return "error classifier does not support artifacts"

@@ -1,0 +1,97 @@
+package updater
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"neurocuts/internal/rule"
+)
+
+// referenceFingerprint recomputes Fingerprint's canonical encoding
+// field-by-field, with no per-record buffer to mis-size. Fingerprint used to
+// hash through a hard-coded [96]byte scratch buffer — coincidentally correct
+// for 5 dimensions, silently truncating (or over-hashing stale bytes) the
+// moment the rule layout widens. Holding the real implementation to this
+// streaming reference pins the encoding itself, not the buffer arithmetic.
+func referenceFingerprint(set *rule.Set) uint32 {
+	h := crc32.NewIEEE()
+	var word [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(word[:], v)
+		h.Write(word[:])
+	}
+	for _, r := range set.Rules() {
+		for _, d := range rule.Dimensions() {
+			put(r.Ranges[d].Lo)
+			put(r.Ranges[d].Hi)
+		}
+		put(uint64(int64(r.Priority)))
+		put(uint64(int64(r.ID)))
+	}
+	return h.Sum32()
+}
+
+// fingerprintTestRules builds rules whose every field is distinct, so any
+// dropped or misplaced byte in the encoding shows up as a mismatch.
+func fingerprintTestRules() []rule.Rule {
+	rules := make([]rule.Rule, 4)
+	for i := range rules {
+		r := rule.NewWildcardRule(i)
+		for j, d := range rule.Dimensions() {
+			r.Ranges[d] = rule.Range{
+				Lo: uint64(1000*i + 10*j + 1),
+				Hi: uint64(1000*i + 10*j + 7),
+			}
+		}
+		r.Priority = i
+		r.ID = 100 + i
+		rules[i] = r
+	}
+	return rules
+}
+
+func TestFingerprintMatchesReference(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		set  *rule.Set
+	}{
+		{"empty", rule.NewSet(nil)},
+		{"wildcards", rule.NewSet([]rule.Rule{rule.NewWildcardRule(0), rule.NewWildcardRule(1)})},
+		{"distinct-fields", rule.NewSetKeepPriorities(fingerprintTestRules())},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, want := Fingerprint(tc.set), referenceFingerprint(tc.set); got != want {
+				t.Fatalf("Fingerprint = %#x, reference encoding = %#x", got, want)
+			}
+		})
+	}
+}
+
+// TestFingerprintSensitivity: the fingerprint must react to every field of
+// every dimension — in particular the LAST dimension's bounds, which a
+// truncated scratch buffer would drop first — and to priority, ID and rule
+// order.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Fingerprint(rule.NewSetKeepPriorities(fingerprintTestRules()))
+
+	mutate := func(name string, f func(rs []rule.Rule)) {
+		rs := fingerprintTestRules()
+		f(rs)
+		if Fingerprint(rule.NewSetKeepPriorities(rs)) == base {
+			t.Errorf("%s: fingerprint unchanged", name)
+		}
+	}
+
+	for _, d := range rule.Dimensions() {
+		d := d
+		mutate("dim-lo", func(rs []rule.Rule) { rs[2].Ranges[d].Lo++ })
+		mutate("dim-hi", func(rs []rule.Rule) { rs[2].Ranges[d].Hi++ })
+	}
+	mutate("priority", func(rs []rule.Rule) { rs[1].Priority = 99 })
+	mutate("id", func(rs []rule.Rule) { rs[1].ID = 999 })
+	// Swapping two rules' priorities reorders the canonical (priority-sorted)
+	// list, so the same multiset of rules in a different order must hash
+	// differently.
+	mutate("order", func(rs []rule.Rule) { rs[0].Priority, rs[3].Priority = rs[3].Priority, rs[0].Priority })
+}

@@ -83,7 +83,11 @@ type JournalMeta struct {
 // records apply to.
 func Fingerprint(set *rule.Set) uint32 {
 	h := crc32.NewIEEE()
-	var buf [96]byte
+	// The per-rule record is 16 bytes per dimension plus priority and ID.
+	// Sized from the dimension list, not a literal, so widening the rule
+	// layout (IPv6 / arbitrary-dimension rules) widens the fingerprint with
+	// it instead of silently hashing a truncated or over-long record.
+	buf := make([]byte, 16*len(rule.Dimensions())+16)
 	for _, r := range set.Rules() {
 		off := 0
 		for _, d := range rule.Dimensions() {
@@ -93,7 +97,7 @@ func Fingerprint(set *rule.Set) uint32 {
 		}
 		binary.LittleEndian.PutUint64(buf[off:], uint64(int64(r.Priority)))
 		binary.LittleEndian.PutUint64(buf[off+8:], uint64(int64(r.ID)))
-		h.Write(buf[:])
+		h.Write(buf)
 	}
 	return h.Sum32()
 }
@@ -357,6 +361,10 @@ func (j *Journal) Rotate(meta JournalMeta) error {
 
 // Records returns the number of records appended or replayed so far.
 func (j *Journal) Records() int { return j.records }
+
+// Bytes returns the journal file's durable length (header plus every intact
+// record).
+func (j *Journal) Bytes() int64 { return j.off }
 
 // Path returns the journal's file path.
 func (j *Journal) Path() string { return j.path }

@@ -31,8 +31,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync/atomic"
 
+	"neurocuts/internal/admin"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 )
@@ -253,6 +255,30 @@ func (c *Classifier) Stats() Stats {
 		JournalPath:    u.JournalPath,
 		JournalRecords: u.JournalRecords,
 	}
+}
+
+// AdminHandler returns the classifier's HTTP admin plane: Prometheus-format
+// metrics at /metrics (engine lookup/update counters, flow-cache
+// effectiveness, the online-update subsystem's overlay/compaction/journal
+// state), liveness and readiness probes at /healthz and /readyz, a JSON
+// summary at /tables, and the standard profiling endpoints under
+// /debug/pprof/. Mount it wherever the application serves management HTTP —
+// typically a loopback-only listener:
+//
+//	go http.ListenAndServe("127.0.0.1:9100", c.AdminHandler())
+//
+// The handler reads live state on every request. After Close, /readyz
+// reports 503 and /metrics keeps serving the final counter values.
+func (c *Classifier) AdminHandler() http.Handler {
+	return admin.New(admin.Options{
+		Engine: c.eng,
+		Ready: func() error {
+			if c.closed.Load() {
+				return ErrClosed
+			}
+			return nil
+		},
+	}).Handler()
 }
 
 // Rules returns the classifier's current rule list snapshot. The returned

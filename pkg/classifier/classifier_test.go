@@ -3,7 +3,11 @@ package classifier_test
 import (
 	"context"
 	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -212,5 +216,54 @@ func TestClosedClassifierFailsClosed(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestAdminHandler(t *testing.T) {
+	c, err := classifier.Open(mustRules(t, "acl1", 100),
+		classifier.WithBackend("linear"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.AdminHandler())
+	defer ts.Close()
+
+	fetch := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, _ := fetch("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d", code)
+	}
+	if code, _ := fetch("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d", code)
+	}
+	code, body := fetch("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, `neurocuts_engine_rules{table="default"} 100`) {
+		t.Fatalf("/metrics missing the rule-count gauge:\n%s", body)
+	}
+
+	// After Close the handler keeps serving, but readiness flips to 503.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := fetch("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "closed") {
+		t.Fatalf("/readyz after Close = %d %q, want 503 naming the closed classifier", code, body)
+	}
+	if code, _ := fetch("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics after Close = %d", code)
 	}
 }
