@@ -21,6 +21,13 @@
 //
 //	classifyd -artifact policy.ncaf -journal auto -listen 127.0.0.1:9099
 //
+// Serve lookups through the run-to-completion dataplane instead of the
+// worker pool: per-core classify loops fed by a flow-hash demux over SPSC
+// rings, with lock-free per-core flow caches (see internal/dataplane and
+// docs/ARCHITECTURE.md):
+//
+//	classifyd -family acl1 -size 1000 -cores 8 -flow-cache 65536 -listen 127.0.0.1:9099
+//
 // Query it (IPs may be dotted quads or decimal):
 //
 //	classifyd -query 127.0.0.1:9099 -packet "10.0.0.1 192.168.1.1 1234 80 6"
@@ -60,6 +67,7 @@ import (
 
 	"neurocuts/internal/admin"
 	"neurocuts/internal/classbench"
+	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/server"
@@ -113,6 +121,8 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		timesteps = fs.Int("timesteps", 20000, "NeuroCuts training budget (neurocuts only)")
 		binth     = fs.Int("binth", 16, "leaf threshold for tree backends")
 		shards    = fs.Int("shards", 0, "batch lookup shards (0 = GOMAXPROCS)")
+		cores     = fs.Int("cores", 0, "serve lookups through the run-to-completion dataplane with this many per-core classify loops (0 = default worker-pool path; -1 = GOMAXPROCS loops)")
+		flowCache = fs.Int("flow-cache", 0, "flow cache entry budget (sharded engine cache, or per-core caches with -cores; 0 disables)")
 		artifact  = fs.String("artifact", "", "warm-start: serve this compiled classifier artifact instead of building")
 		online    = fs.Bool("online", false, "route live updates through the delta-overlay subsystem instead of rebuild-per-update")
 		journal   = fs.String("journal", "", "durable update journal path (implies -online; replayed at start; 'auto' co-locates with -artifact)")
@@ -149,10 +159,21 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	}
 
 	if *tables != "" {
+		if *cores != 0 {
+			return fmt.Errorf("-cores applies to single-table mode only (each table owns its engine; a shared dataplane would need one flow-space per table)")
+		}
 		return runTables(stdout, *tables, tableDefaults{
 			binth: *binth, timesteps: *timesteps, seed: *seed, shards: *shards,
 			compactAt: *compactAt,
 		}, *listen, *adminAddr, *drain, sig)
+	}
+
+	// With the dataplane in front, the engine's sharded flow cache would
+	// never be consulted; route the -flow-cache budget to whichever layer
+	// actually serves lookups.
+	engineCache, dpCache := *flowCache, 0
+	if *cores != 0 {
+		engineCache, dpCache = 0, *flowCache
 	}
 
 	journalPath := *journal
@@ -168,6 +189,7 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		var err error
 		eng, err = engine.NewEngineFromArtifact(*artifact, engine.Options{
 			Shards:           *shards,
+			FlowCacheEntries: engineCache,
 			OnlineUpdates:    *online,
 			JournalPath:      journalPath,
 			CompactThreshold: *compactAt,
@@ -187,6 +209,7 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 			Timesteps:        *timesteps,
 			Seed:             *seed,
 			Shards:           *shards,
+			FlowCacheEntries: engineCache,
 			OnlineUpdates:    *online,
 			JournalPath:      journalPath,
 			CompactThreshold: *compactAt,
@@ -204,7 +227,27 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "), serving %d rules\n", st.Rules)
 	}
 
-	srv := server.New(eng)
+	// The server talks to whichever serving surface was selected: the engine
+	// directly (worker-pool path), or a dataplane fronting it. The dataplane
+	// implements the same server interfaces, so nothing downstream changes.
+	var cls server.Classifier = eng
+	if *cores != 0 {
+		dpCores := *cores
+		if dpCores < 0 {
+			dpCores = 0 // Attach maps 0 to GOMAXPROCS
+		}
+		dp, err := dataplane.Attach(eng, dataplane.Config{Cores: dpCores, CacheEntries: dpCache})
+		if err != nil {
+			return err
+		}
+		// No explicit dp.Close: Attach registered it as an engine closer, so
+		// the deferred eng.Close drains the loops first.
+		cls = dp
+		fmt.Fprintf(stdout, "classifyd: run-to-completion dataplane enabled (%d cores, per-core flow caches %d entries)\n",
+			dp.Cores(), dpCache)
+	}
+
+	srv := server.New(cls)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
@@ -171,6 +172,91 @@ func TestArtifactWarmStart(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not shut down within 10s of SIGTERM")
 	}
+}
+
+// TestDataplaneKillUnderLoad is the shutdown-ordering regression test at
+// the daemon level: with the run-to-completion dataplane serving (-cores),
+// SIGTERM arrives while clients are streaming batches. The daemon must
+// drain — every batch answered before the connection drops is complete and
+// correct (loops drain their rings before the engine snapshot is torn
+// down) — and exit cleanly with nil.
+func TestDataplaneKillUnderLoad(t *testing.T) {
+	addr, sig, errCh, out := startDaemon(t, []string{
+		"-family", "acl1", "-size", "200", "-algo", "tss",
+		"-cores", "2", "-flow-cache", "4096", "-listen", "127.0.0.1:0",
+	})
+	if !strings.Contains(out.String(), "run-to-completion dataplane enabled") {
+		t.Fatalf("daemon did not report the dataplane path:\n%s", out.String())
+	}
+
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 200, 1)
+	var packets []rule.Packet
+	for _, e := range classbench.GenerateTrace(set, 256, 3) {
+		packets = append(packets, e.Key)
+	}
+	// Reference answers from the live daemon before the storm: rules do not
+	// change during this test, so every later batch must match exactly.
+	refClient := dialDaemon(t, addr)
+	want, err := refClient.ClassifyBatch(packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const streamers = 3
+	clients := make([]*server.Client, streamers)
+	for i := range clients {
+		clients[i] = dialDaemon(t, addr)
+	}
+	var wg sync.WaitGroup
+	var batches atomic.Int64
+	for _, client := range clients {
+		wg.Add(1)
+		go func(c *server.Client) {
+			defer wg.Done()
+			for {
+				res, err := c.ClassifyBatch(packets)
+				if err != nil {
+					// The connection dropped mid-shutdown; batches answered
+					// up to here were verified complete.
+					return
+				}
+				if len(res) != len(want) {
+					t.Errorf("in-flight batch truncated: %d/%d results", len(res), len(want))
+					return
+				}
+				for i := range res {
+					if res[i] != want[i] {
+						t.Errorf("in-flight batch wrong at packet %d: %+v want %+v", i, res[i], want[i])
+						return
+					}
+				}
+				batches.Add(1)
+			}
+		}(client)
+	}
+
+	// Let the streamers get going, then pull the rug mid-stream.
+	deadline := time.Now().Add(10 * time.Second)
+	for batches.Load() < 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("streamers completed only %d batches in 10s", batches.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("daemon exited non-cleanly under load: %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not shut down within 10s of SIGTERM under load\noutput:\n%s", out.String())
+	}
+	wg.Wait()
 }
 
 // TestJournalKillRestart is the daemon-level recovery acceptance test:

@@ -46,6 +46,8 @@ func main() {
 		checkUpdatesCmd(os.Args[2:])
 	case "proto":
 		protoCmd(os.Args[2:])
+	case "dataplane":
+		dataplaneCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -65,6 +67,8 @@ func usage() {
                         assert the overlay update path beats rebuild-per-update by >= X
   perflab proto         [-family F -size N -backend B -packets N -batch N -min-factor X]
                         compare v1 text vs v2 binary server batch throughput
+  perflab dataplane     [-family F -size N -backend B -cores N -submitters N -batch N -min-factor X]
+                        compare worker-pool vs run-to-completion dataplane batch p99
 
 run 'perflab run -h' or 'perflab compare -h' for flags.
 The compiled-vs-legacy grid: perflab run -families acl1 -sizes 300 -skews uniform \
@@ -328,6 +332,65 @@ func protoCmd(args []string) {
 	fmt.Printf("%s_%d_%s  batch=%d  v1 %12.0f pps  v2 %12.0f pps  engine %12.0f pps  v2/v1 %5.2fx  %s\n",
 		res.Family, res.Size, res.Backend, res.BatchSize,
 		res.V1PacketsPerSec, res.V2PacketsPerSec, res.EnginePacketsPerSec, res.Factor, verdict)
+	if *out != "" {
+		if err := writeJSON(*out, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perflab: wrote %s\n", *out)
+	}
+	if violation != "" {
+		fmt.Fprintln(os.Stderr, "perflab: "+violation)
+		os.Exit(2)
+	}
+}
+
+// dataplaneCmd measures the same concurrent batched lookup workload served
+// by the worker-pool engine and by the run-to-completion dataplane (the
+// dataplane perf cell), gating on tail batch latency: PoolP99/DataplaneP99
+// must reach -min-factor. Like the other check commands it re-measures on
+// violation and exits 2 only when the violation persists.
+func dataplaneCmd(args []string) {
+	fs := flag.NewFlagSet("dataplane", flag.ExitOnError)
+	var (
+		family     = fs.String("family", "acl1", "ClassBench family")
+		size       = fs.Int("size", 1000, "rule-set size")
+		backend    = fs.String("backend", "hicuts", "backend to serve")
+		cores      = fs.Int("cores", 0, "parallelism for both paths: pool shards and dataplane loops (0 = GOMAXPROCS)")
+		submitters = fs.Int("submitters", 4, "concurrent batch-submitting goroutines")
+		batches    = fs.Int("batches", 64, "measured batches per submitter per pass")
+		batch      = fs.Int("batch", 512, "packets per batch")
+		flowCache  = fs.Int("flow-cache", 16384, "flow-cache entry budget for both paths")
+		runs       = fs.Int("runs", 3, "measurement passes (best-of)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		minFactor  = fs.Float64("min-factor", 0, "required pool-p99 / dataplane-p99 ratio (0 = report only)")
+		retries    = fs.Int("retries", 2, "re-measure up to this many times on violation")
+		out        = fs.String("out", "", "also write the comparison as JSON to this path")
+	)
+	fs.Parse(args)
+
+	var res perf.DataplaneComparison
+	var violation string
+	for attempt := 0; ; attempt++ {
+		var err error
+		res, err = perf.MeasureDataplane(*family, *size, *backend, *cores, *submitters, *batches, *batch, *flowCache, *runs, perf.RunConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		violation = perf.CheckDataplane(res, *minFactor)
+		if violation == "" || attempt >= *retries {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "perflab: attempt %d/%d: %s — re-measuring\n", attempt+1, *retries+1, violation)
+	}
+	verdict := "ok"
+	if violation != "" {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("%s_%d_%s  cores=%d sub=%d batch=%d  pool p99 %10.0fns  dataplane p99 %10.0fns  %5.2fx  (p50 %8.0fns vs %8.0fns, %8.0f vs %8.0f pps)  %s\n",
+		res.Family, res.Size, res.Backend, res.Cores, res.Submitters, res.BatchSize,
+		res.PoolP99Nanos, res.DataplaneP99Nanos, res.Factor,
+		res.PoolP50Nanos, res.DataplaneP50Nanos,
+		res.PoolPacketsPerSec, res.DataplanePacketsPerSec, verdict)
 	if *out != "" {
 		if err := writeJSON(*out, res); err != nil {
 			fatal(err)

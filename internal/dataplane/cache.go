@@ -1,0 +1,67 @@
+package dataplane
+
+import (
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// coreCache is a per-core, direct-mapped flow cache. It is the dataplane's
+// replacement for the engine's sharded flow cache: because the demux stage
+// pins every flow to one core, a flow's cache entry is only ever read and
+// written by that core's loop goroutine — so the locking the sharded cache
+// needs (a mutex acquire/release around every get and put) disappears
+// entirely. A cached hit is one hash, one masked index and one struct
+// compare, with no synchronisation at all.
+//
+// Correctness under rule updates is inherited from the shared design: every
+// slot records the snapshot version it was filled from, and a hit requires
+// that version to equal the loop's current View version. Epoch messages
+// advance the loop's View, so every stale entry silently becomes a miss —
+// no invalidation pass, and a hit can never surface a retired rule set's
+// result.
+type coreCache struct {
+	slots []coreSlot
+	mask  uint64
+}
+
+// coreSlot is one direct-mapped entry.
+type coreSlot struct {
+	key     rule.Packet
+	version uint64
+	rule    rule.Rule
+	ok      bool
+	valid   bool
+}
+
+// newCoreCache builds a cache with at least the requested number of entries
+// (rounded up to a power of two), or returns nil when entries <= 0 so the
+// loop serves uncached.
+func newCoreCache(entries int) *coreCache {
+	if entries <= 0 {
+		return nil
+	}
+	size := 1
+	for size < entries {
+		size <<= 1
+	}
+	return &coreCache{slots: make([]coreSlot, size), mask: uint64(size - 1)}
+}
+
+// get returns the cached result for p at the given snapshot version; the
+// third return reports whether the lookup hit. Loop goroutine only.
+func (c *coreCache) get(p rule.Packet, version uint64) (rule.Rule, bool, bool) {
+	// The slot index uses the hash's low half: the demux stage consumed the
+	// high half to pick this core (see coreOf), so the low half is the part
+	// still uniformly distributed within one core's flow population.
+	slot := &c.slots[engine.HashPacket(p)&c.mask]
+	if slot.valid && slot.version == version && slot.key == p {
+		return slot.rule, slot.ok, true
+	}
+	return rule.Rule{}, false, false
+}
+
+// put stores the result for p computed against the given snapshot version,
+// evicting whatever occupied the slot. Loop goroutine only.
+func (c *coreCache) put(p rule.Packet, version uint64, r rule.Rule, ok bool) {
+	c.slots[engine.HashPacket(p)&c.mask] = coreSlot{key: p, version: version, rule: r, ok: ok, valid: true}
+}

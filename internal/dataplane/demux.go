@@ -1,0 +1,30 @@
+package dataplane
+
+import (
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// The demux stage decides which core owns a packet: hash the 5-tuple, map
+// the hash onto [0, cores). Because the mapping is a pure function of the
+// header fields, every packet of a flow lands on the same core for the
+// lifetime of the dataplane — which is the property the whole design leans
+// on. Per-flow state (the flow cache entry) lives on exactly one core, so it
+// needs no locks; and packets of one flow are classified in submission
+// order by one loop, so a flow never observes rule generations out of
+// order.
+//
+// The hash is engine.HashPacket — the same function the engine's sharded
+// flow cache uses — so "flow identity" means one thing across the stack.
+
+// coreOf maps a packet to its owning core index in [0, cores).
+//
+// The reduction is Lemire's multiply-shift ("fastrange"): take the high 32
+// bits of the hash and scale them by cores. Unlike `h % cores` it compiles
+// to one multiply for any core count (no division, no power-of-two
+// requirement), and unlike masking low bits it draws on the hash's
+// well-mixed high half.
+func coreOf(p rule.Packet, cores int) int {
+	h := engine.HashPacket(p)
+	return int(((h >> 32) * uint64(cores)) >> 32)
+}

@@ -1,0 +1,153 @@
+package dataplane
+
+import (
+	"sync/atomic"
+
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// Item kinds carried on a core's ring. Batch spans and epoch-tagged rule
+// updates travel in the same FIFO, which is what makes update semantics
+// simple: any batch submitted after an update was published necessarily sits
+// behind that update's epoch message in every ring, so it is classified
+// against the new generation without any locking on the lookup path.
+const (
+	// itemBatch is one core's span of a submitted batch.
+	itemBatch = uint8(iota)
+	// itemEpoch tells the loop a new engine snapshot generation was
+	// published: reload the View, retire the per-core cache's entries (they
+	// carry the old version and silently miss).
+	itemEpoch
+)
+
+// item is one ring entry, sent by value so pushing never allocates.
+type item struct {
+	kind uint8
+	// Batch payload: the staged packets this core owns, the original
+	// positions of those packets in the caller's out slice, the caller's out
+	// slice itself (cores write disjoint positions), and the batch's
+	// completion vector.
+	ps   []rule.Packet
+	idx  []int32
+	out  []engine.Result
+	done *completion
+	// Epoch payload: the published snapshot version. Monotonically
+	// increasing; a loop that sees several queued epochs reloads on each,
+	// which is idempotent.
+	seq uint64
+}
+
+// ring is a bounded single-producer/single-consumer queue of items. The
+// producer side is the demux stage (ingress callers serialised by the
+// dataplane's ingress mutex, plus the engine's publish hook for epoch
+// messages, under the same mutex); the consumer side is exactly one core
+// loop. With one goroutine on each side, two atomic cursors are the whole
+// synchronisation story: the producer publishes a slot by storing tail+1
+// (everything written to the slot happens-before the store), the consumer
+// releases a slot by storing head+1. No locks, no allocation, no CAS on the
+// hot path.
+//
+// The padding between the cursors keeps producer and consumer from false
+// sharing one cache line — each side spins only on the other's cursor plus
+// its own, so the two hot words must live apart.
+type ring struct {
+	buf  []item
+	mask uint64
+
+	_    [64]byte
+	head atomic.Uint64 // next slot the consumer will read
+	_    [64]byte
+	tail atomic.Uint64 // next slot the producer will write
+	_    [64]byte
+
+	// producing detects single-producer violations in race-detector builds
+	// (see push and ring_race.go); it is dead weight otherwise.
+	producing atomic.Bool
+
+	// Consumer parking: busy-polling an idle ring would pin a core per loop
+	// even with no traffic, so after a spin budget the loop parks on wake.
+	// The producer checks sleeping after every push (one atomic load on the
+	// hot path) and posts a wake token only when the consumer armed it.
+	sleeping atomic.Bool
+	wake     chan struct{}
+}
+
+// defaultRingSize is each core's ring capacity in items. A batch occupies
+// one item per core it touches, so 1024 outstanding spans per core is far
+// beyond any realistic submit depth; the bound exists to make backpressure
+// explicit rather than to be reached.
+const defaultRingSize = 1024
+
+// newRing builds a ring with at least the requested capacity, rounded up to
+// a power of two so the cursors wrap with a mask instead of a modulo.
+func newRing(capacity int) *ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	size := 1
+	for size < capacity {
+		size <<= 1
+	}
+	return &ring{
+		buf:  make([]item, size),
+		mask: uint64(size - 1),
+		wake: make(chan struct{}, 1),
+	}
+}
+
+// capacity returns the ring's item capacity.
+func (r *ring) capacity() int { return len(r.buf) }
+
+// len returns the number of items currently queued. Racy by nature (either
+// cursor may move concurrently); used for stats and tests only.
+func (r *ring) len() int { return int(r.tail.Load() - r.head.Load()) }
+
+// push enqueues one item, returning false when the ring is full. Producer
+// side only: the caller must be the ring's single producer (the dataplane's
+// ingress mutex enforces this; race-detector builds additionally verify it —
+// see enterProducer).
+func (r *ring) push(it item) bool {
+	if raceEnabled {
+		r.enterProducer()
+		defer r.exitProducer()
+	}
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = it
+	r.tail.Store(t + 1)
+	r.wakeConsumer()
+	return true
+}
+
+// wakeConsumer posts a wake token if the consumer armed parking. The
+// sleeping load is the producer's entire idle-coordination cost; the token
+// send happens only around park/unpark transitions.
+func (r *ring) wakeConsumer() {
+	if r.sleeping.Load() {
+		select {
+		case r.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// pop dequeues one item into *it, returning false when the ring is empty.
+// Consumer side only: the owning core loop. The drained slot is zeroed so
+// the ring does not pin a completed batch's buffers against the GC for a
+// full lap of the cursor.
+func (r *ring) pop(it *item) bool {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return false
+	}
+	*it = r.buf[h&r.mask]
+	r.buf[h&r.mask] = item{}
+	r.head.Store(h + 1)
+	return true
+}
+
+// empty reports whether the ring has no queued items (racy, like len).
+func (r *ring) empty() bool { return r.head.Load() == r.tail.Load() }

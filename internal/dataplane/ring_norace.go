@@ -1,0 +1,12 @@
+//go:build !race
+
+package dataplane
+
+// raceEnabled is false in normal builds: ring.push compiles down to the bare
+// SPSC cursor protocol with no producer guard. See ring_race.go.
+const raceEnabled = false
+
+// enterProducer and exitProducer are unreachable when raceEnabled is false;
+// they exist so ring.go compiles identically under both build modes.
+func (r *ring) enterProducer() {}
+func (r *ring) exitProducer()  {}

@@ -1,0 +1,24 @@
+//go:build race
+
+package dataplane
+
+// raceEnabled selects the race-detector-only single-producer check in
+// ring.push. The constant folds the check away entirely in normal builds.
+const raceEnabled = true
+
+// enterProducer asserts that exactly one goroutine is inside push at a
+// time. SPSC correctness rests on that invariant — two concurrent producers
+// can both read the same tail and silently overwrite each other's slot, a
+// corruption the race detector alone may miss because the colliding writes
+// go through the same atomic cursors. Under -race the guard turns any
+// producer overlap into a loud panic at the violation site.
+func (r *ring) enterProducer() {
+	if !r.producing.CompareAndSwap(false, true) {
+		panic("dataplane: SPSC ring push from concurrent producers (single-producer contract violated)")
+	}
+}
+
+// exitProducer re-opens the guard; deferred by push. A plain method (not a
+// returned closure) so the guarded push stays allocation-free — the alloc
+// gate runs under -race too.
+func (r *ring) exitProducer() { r.producing.Store(false) }

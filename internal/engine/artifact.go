@@ -176,7 +176,7 @@ func (e *Engine) LoadArtifact(path string) (UpdateResult, error) {
 		}
 		ns.base = base
 	}
-	e.snap.Store(ns)
+	e.publishSnap(ns)
 	e.artifactPath = path
 	e.overlayDirty.Store(0)
 	for _, r := range set.Rules() {

@@ -170,7 +170,84 @@ type Engine struct {
 	// updates / updateFailures count Insert+Delete outcomes.
 	updates        atomic.Uint64
 	updateFailures atomic.Uint64
+
+	// publishHook, when set, runs after every post-construction snapshot
+	// publish (insert, delete, overlay apply, compaction, artifact load)
+	// with the published version. The run-to-completion dataplane
+	// (internal/dataplane) registers one to ship epoch-tagged update
+	// messages to its per-core loops; see SetPublishHook.
+	publishHook atomic.Pointer[func(version uint64)]
+
+	// closers run at the start of Close, before the compactor stops and the
+	// journal closes, so subsystems serving this engine's snapshots (the
+	// dataplane's classify loops) drain and exit while the snapshot state is
+	// still fully alive. Guarded by closersMu.
+	closersMu sync.Mutex
+	closers   []func()
 }
+
+// SetPublishHook registers fn to run after every post-construction snapshot
+// publish, with the new snapshot's version. At most one hook is supported;
+// registering replaces the previous one, and a nil fn unregisters. The hook
+// runs on the publishing goroutine (writer lock held for updates, the
+// compactor goroutine for background compactions), so it must be fast and
+// must never call back into the engine's write path.
+func (e *Engine) SetPublishHook(fn func(version uint64)) {
+	if fn == nil {
+		e.publishHook.Store(nil)
+		return
+	}
+	e.publishHook.Store(&fn)
+}
+
+// AddCloser registers fn to run at the start of Close, before the engine
+// tears down its own background state (compactor, journal, batch workers).
+// Subsystems that serve the engine's snapshots from their own goroutines —
+// the dataplane's per-core loops — register their drain here so Close
+// ordering is: drain serving loops first, then stop the update machinery.
+// Closers run in reverse registration order and must be idempotent.
+func (e *Engine) AddCloser(fn func()) {
+	e.closersMu.Lock()
+	e.closers = append(e.closers, fn)
+	e.closersMu.Unlock()
+}
+
+// publishSnap publishes a new snapshot and notifies the publish hook. Every
+// post-construction snapshot swap goes through here so attached consumers
+// (the dataplane) observe every generation exactly once.
+func (e *Engine) publishSnap(ns *snapshot) {
+	e.snap.Store(ns)
+	if fn := e.publishHook.Load(); fn != nil {
+		(*fn)(ns.version)
+	}
+}
+
+// View is a pinned read handle on one engine snapshot: an immutable
+// (classifier, rule set) generation. The dataplane's per-core loops hold one
+// View each and classify against it lock-free and load-free — no atomic
+// snapshot load per packet or per batch — reloading only when an
+// epoch-tagged update message tells them a newer generation exists. A View
+// stays valid (and consistent) indefinitely; holding an old one merely
+// serves an older rule-set generation, the usual RCU contract.
+type View struct {
+	s *snapshot
+}
+
+// CurrentView returns a View pinned to the engine's current snapshot.
+func (e *Engine) CurrentView() View { return View{s: e.snap.Load()} }
+
+// Version returns the pinned snapshot's generation counter.
+func (v View) Version() uint64 { return v.s.version }
+
+// Backend returns the registry name of the backend serving the pinned
+// snapshot.
+func (v View) Backend() string { return v.s.backend }
+
+// Classify looks one packet up in the pinned snapshot. It bypasses the
+// engine's shared flow cache: dataplane loops keep their own per-core
+// caches, so consulting the shared one would reintroduce the very lock the
+// per-core design removes.
+func (v View) Classify(p rule.Packet) (rule.Rule, bool) { return v.s.cls.Classify(p) }
 
 // EngineStats is an operator-visible snapshot of an engine's serving state:
 // identity, counters, flow-cache effectiveness and the online-update
@@ -382,6 +459,16 @@ func (e *Engine) startWorkers() {
 // is optional for short-lived engines without the updater.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		// Attached serving loops (the dataplane) drain and exit first, while
+		// the snapshot, compactor and journal are all still alive — a loop
+		// mid-batch must never observe a half-torn-down engine.
+		e.closersMu.Lock()
+		closers := e.closers
+		e.closers = nil
+		e.closersMu.Unlock()
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
 		e.closeUpdater()
 		// Consuming the Once first means a concurrent in-flight start
 		// finishes before we observe workersUp, and no future call can
@@ -467,7 +554,7 @@ func (e *Engine) doInsert(pos int, r rule.Rule) (UpdateResult, error) {
 	}
 	e.nextID++
 	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build, baseCls: cls}
-	e.snap.Store(ns)
+	e.publishSnap(ns)
 	return UpdateResult{ID: r.ID, Version: ns.version, Rules: next.Len()}, nil
 }
 
@@ -514,6 +601,6 @@ func (e *Engine) doDelete(id int) (UpdateResult, error) {
 			fmt.Errorf("engine: rebuild after delete of rule %d: %w", id, err)
 	}
 	ns := &snapshot{cls: cls, set: next, version: cur.version + 1, backend: cur.backend, build: cur.build, baseCls: cls}
-	e.snap.Store(ns)
+	e.publishSnap(ns)
 	return UpdateResult{ID: id, Version: ns.version, Rules: next.Len()}, nil
 }

@@ -90,9 +90,14 @@ func ceilPow2(n int) int {
 	return p
 }
 
-// hashPacket mixes the five header fields FNV-1a style. The low bits select
-// the shard and the high bits the slot, so the two indices are decorrelated.
-func hashPacket(p rule.Packet) uint64 {
+// HashPacket mixes a packet's five header fields FNV-1a style into one
+// 64-bit flow hash. It is the one flow-hash function of the serving stack:
+// the sharded flow cache derives its shard and slot indices from it (the low
+// bits select the shard and the high bits the slot, so the two indices are
+// decorrelated), and the run-to-completion dataplane (internal/dataplane)
+// derives its per-core demux from it, so "same 5-tuple" means the same thing
+// — same cache identity, same owning core — everywhere.
+func HashPacket(p rule.Packet) uint64 {
 	const prime64 = 1099511628211
 	h := uint64(14695981039346656037)
 	h ^= uint64(p.SrcIP)
@@ -109,7 +114,7 @@ func hashPacket(p rule.Packet) uint64 {
 // get returns the cached result for p at the given snapshot version. The
 // third return value reports whether the lookup hit.
 func (c *flowCache) get(p rule.Packet, version uint64) (rule.Rule, bool, bool) {
-	h := hashPacket(p)
+	h := HashPacket(p)
 	sh := &c.shards[h&c.shardMask]
 	sh.mu.Lock()
 	slot := &sh.slots[(h>>32)&c.slotMask]
@@ -127,7 +132,7 @@ func (c *flowCache) get(p rule.Packet, version uint64) (rule.Rule, bool, bool) {
 // put stores the result for p computed against the given snapshot version,
 // evicting whatever occupied the slot.
 func (c *flowCache) put(p rule.Packet, version uint64, r rule.Rule, ok bool) {
-	h := hashPacket(p)
+	h := HashPacket(p)
 	sh := &c.shards[h&c.shardMask]
 	sh.mu.Lock()
 	sh.slots[(h>>32)&c.slotMask] = cacheSlot{key: p, version: version, rule: r, ok: ok, valid: true}

@@ -179,7 +179,7 @@ func (e *Engine) applyOverlayLocked(cur *snapshot, next *rule.Set, op updater.Op
 			return fail, err
 		}
 	}
-	e.snap.Store(ns)
+	e.publishSnap(ns)
 	e.afterOverlayPublish(ns)
 	return UpdateResult{ID: op.ID, Version: ns.version, Rules: next.Len()}, nil
 }
@@ -316,7 +316,7 @@ func (e *Engine) compactOnce() {
 		ns = &snapshot{cls: &overlayClassifier{view: view, m: m}, baseCls: cls,
 			set: now.set, version: now.version + 1, backend: now.backend, build: now.build, base: base}
 	}
-	e.snap.Store(ns)
+	e.publishSnap(ns)
 	e.compactions.Add(1)
 	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())
 	e.lastCompactErr.Store(nil)
@@ -355,7 +355,7 @@ func (e *Engine) compactLocked() error {
 	if err != nil {
 		return err
 	}
-	e.snap.Store(&snapshot{cls: cls, baseCls: cls, set: cur.set,
+	e.publishSnap(&snapshot{cls: cls, baseCls: cls, set: cur.set,
 		version: cur.version + 1, backend: cur.backend, build: cur.build, base: base})
 	e.compactions.Add(1)
 	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())

@@ -1,0 +1,146 @@
+// Package linkcheck validates the repository's Markdown cross-references:
+// every relative link must point at a file that exists, and every fragment
+// (#anchor) must name a heading that GitHub's renderer would actually
+// produce in the target document.
+//
+// Docs rot exactly one way: a file moves or a heading is reworded and the
+// links that pointed at it keep looking plausible. External URLs can only
+// be checked with network access, so they are out of scope; everything the
+// repository can verify hermetically, it does — in a plain test
+// (internal/linkcheck) that runs in `go test ./...` and as an explicit CI
+// step.
+package linkcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline Markdown links [text](target). Images
+// ![alt](target) match too (the bang is outside the capture); reference
+// links and autolinks are rare enough here not to need handling.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// headingRE matches ATX headings; the capture is the heading text.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// codeFenceRE strips fenced code blocks so example links inside ``` fences
+// (shell snippets, protocol transcripts) are not treated as references.
+var codeFenceRE = regexp.MustCompile("(?ms)^```.*?^```[ \t]*$")
+
+// inlineCodeRE strips `inline code` spans for the same reason.
+var inlineCodeRE = regexp.MustCompile("`[^`\n]*`")
+
+// Problem is one broken reference.
+type Problem struct {
+	File   string // markdown file containing the link
+	Link   string // the link target as written
+	Reason string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: link %q: %s", p.File, p.Link, p.Reason)
+}
+
+// slugify reproduces GitHub's heading-anchor algorithm closely enough for
+// this repository: lowercase, spaces and dashes become dashes, everything
+// that is not a letter, digit, dash or underscore is dropped.
+func slugify(heading string) string {
+	heading = inlineCodeRE.ReplaceAllStringFunc(heading, func(s string) string {
+		return strings.Trim(s, "`")
+	})
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r == ' ' || r == '-':
+			b.WriteByte('-')
+		case r == '_' || r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r > 127: // non-ASCII letters survive slugification
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// anchors returns the set of heading anchors a rendered document exposes.
+func anchors(markdown string) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range headingRE.FindAllStringSubmatch(codeFenceRE.ReplaceAllString(markdown, ""), -1) {
+		slug := slugify(m[1])
+		// GitHub de-duplicates repeated headings as slug, slug-1, slug-2...
+		if out[slug] {
+			for i := 1; ; i++ {
+				dedup := fmt.Sprintf("%s-%d", slug, i)
+				if !out[dedup] {
+					out[dedup] = true
+					break
+				}
+			}
+		} else {
+			out[slug] = true
+		}
+	}
+	return out
+}
+
+// external reports whether the target leaves the repository (or the
+// filesystem entirely) and so cannot be checked hermetically.
+func external(target string) bool {
+	return strings.Contains(target, "://") ||
+		strings.HasPrefix(target, "mailto:") ||
+		strings.HasPrefix(target, "//")
+}
+
+// CheckFiles validates every relative link in the given Markdown files
+// (paths relative to root) and returns one Problem per broken reference.
+func CheckFiles(root string, files []string) ([]Problem, error) {
+	var problems []Problem
+	for _, rel := range files {
+		raw, err := os.ReadFile(filepath.Join(root, rel))
+		if err != nil {
+			return nil, err
+		}
+		doc := string(raw)
+		stripped := codeFenceRE.ReplaceAllString(doc, "")
+		for _, m := range linkRE.FindAllStringSubmatch(stripped, -1) {
+			target := m[1]
+			if external(target) {
+				continue
+			}
+			path, frag, _ := strings.Cut(target, "#")
+			// Pure fragment: an anchor within this document.
+			targetFile := rel
+			if path != "" {
+				if strings.HasPrefix(path, "/") {
+					problems = append(problems, Problem{rel, target, "absolute path; use a repo-relative link"})
+					continue
+				}
+				targetFile = filepath.Join(filepath.Dir(rel), path)
+				if _, err := os.Stat(filepath.Join(root, targetFile)); err != nil {
+					problems = append(problems, Problem{rel, target, "target does not exist"})
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(strings.ToLower(targetFile), ".md") {
+				continue // anchors into non-markdown files are not ours to judge
+			}
+			tRaw := raw
+			if targetFile != rel {
+				if tRaw, err = os.ReadFile(filepath.Join(root, targetFile)); err != nil {
+					return nil, err
+				}
+			}
+			if !anchors(string(tRaw))[frag] {
+				problems = append(problems, Problem{rel, target, fmt.Sprintf("no heading with anchor #%s in %s", frag, targetFile)})
+			}
+		}
+	}
+	return problems, nil
+}

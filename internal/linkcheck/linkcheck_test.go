@@ -1,0 +1,134 @@
+package linkcheck
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test's working directory")
+		}
+		dir = parent
+	}
+}
+
+// markdownFiles finds every .md file in the repository, skipping VCS and
+// generated/vendored trees.
+func markdownFiles(t *testing.T, root string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "vendor", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			rel, err := filepath.Rel(root, path)
+			if err != nil {
+				return err
+			}
+			files = append(files, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("found no markdown files — the walker is broken")
+	}
+	return files
+}
+
+// TestMarkdownLinks is the repository's docs gate: every relative link in
+// every committed Markdown file resolves, and every #anchor names a real
+// heading. Runs in the plain test suite and as an explicit CI step.
+func TestMarkdownLinks(t *testing.T) {
+	root := repoRoot(t)
+	files := markdownFiles(t, root)
+	problems, err := CheckFiles(root, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Error(p.String())
+	}
+	t.Logf("checked %d markdown files", len(files))
+}
+
+// TestSlugify pins the anchor algorithm against GitHub's observed output.
+func TestSlugify(t *testing.T) {
+	cases := []struct{ heading, want string }{
+		{"Architecture", "architecture"},
+		{"The run-to-completion dataplane", "the-run-to-completion-dataplane"},
+		{"Snapshot / overlay / journal lifecycle", "snapshot--overlay--journal-lifecycle"},
+		{"Serving (`classifyd`)", "serving-classifyd"},
+		{"Wire protocol v2", "wire-protocol-v2"},
+		{"Artifacts & warm start", "artifacts--warm-start"},
+		{"Path 1: the worker-pool engine (default)", "path-1-the-worker-pool-engine-default"},
+	}
+	for _, c := range cases {
+		if got := slugify(c.heading); got != c.want {
+			t.Errorf("slugify(%q) = %q, want %q", c.heading, got, c.want)
+		}
+	}
+}
+
+// TestCheckFilesCatchesBreakage proves the checker actually fails on the
+// breakage classes it exists for — a test of the test.
+func TestCheckFilesCatchesBreakage(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("a.md", strings.Join([]string{
+		"# Alpha",
+		"",
+		"[ok](b.md) [ok2](b.md#beta) [self](#alpha)",
+		"[gone](missing.md) [badfrag](b.md#nope) [badself](#omega)",
+		"",
+		"```",
+		"[inside a fence](never-checked.md)",
+		"```",
+	}, "\n"))
+	write("b.md", "# Beta\n")
+	problems, err := CheckFiles(dir, []string{"a.md", "b.md"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string]bool{}
+	for _, p := range problems {
+		bad[p.Link] = true
+	}
+	for _, want := range []string{"missing.md", "b.md#nope", "#omega"} {
+		if !bad[want] {
+			t.Errorf("checker missed broken link %q (got %v)", want, problems)
+		}
+	}
+	if len(problems) != 3 {
+		t.Errorf("want exactly 3 problems, got %d: %v", len(problems), problems)
+	}
+}

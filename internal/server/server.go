@@ -29,6 +29,12 @@
 //	"save <path>\n" -> "ok saved <path>\n"
 //	"load <path>\n" -> "ok version=<v> rules=<n>\n"
 //
+// The served classifier is any Classifier implementation: an engine.Engine
+// directly (the worker-pool path), or a dataplane.Dataplane fronting one
+// (classifyd -cores) — the dataplane satisfies every optional interface
+// below, so handlers submit batches to its per-core rings without knowing
+// which serving architecture is behind them.
+//
 // The special request "stats\n" returns one line of server statistics
 // (request counters, plus the online-update subsystem's overlay size,
 // tombstones, generation, compaction and journal state when the served

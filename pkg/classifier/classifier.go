@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 
 	"neurocuts/internal/admin"
+	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 )
@@ -94,7 +95,10 @@ var ErrClosed = errors.New("classifier: closed")
 // background resources; call it once outstanding operations have returned
 // (operations started after Close fail with ErrClosed).
 type Classifier struct {
-	eng    *engine.Engine
+	eng *engine.Engine
+	// dp is non-nil when WithDataplane routed lookups through per-core
+	// run-to-completion loops; control-plane calls still go to eng.
+	dp     *dataplane.Dataplane
 	closed atomic.Bool
 }
 
@@ -108,24 +112,43 @@ func Open(rules *RuleSet, opts ...Option) (*Classifier, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	// With the dataplane in front, the engine's sharded flow cache would
+	// never be consulted — move the WithFlowCache budget to the dataplane's
+	// lock-free per-core caches instead of allocating it twice.
+	dpCache := 0
+	if cfg.dataplane {
+		dpCache = cfg.opts.FlowCacheEntries
+		cfg.opts.FlowCacheEntries = 0
+	}
+	var eng *engine.Engine
+	var err error
 	if cfg.artifact != "" {
 		if rules != nil {
 			return nil, errors.New("classifier: WithArtifact embeds its own rule set; pass nil rules")
 		}
-		eng, err := engine.NewEngineFromArtifact(cfg.artifact, cfg.opts)
-		if err != nil {
-			return nil, err
+		eng, err = engine.NewEngineFromArtifact(cfg.artifact, cfg.opts)
+	} else {
+		if rules == nil {
+			return nil, errors.New("classifier: nil rule set (pass WithArtifact to open without rules)")
 		}
-		return &Classifier{eng: eng}, nil
+		eng, err = engine.NewEngine(cfg.backend, rules, cfg.opts)
 	}
-	if rules == nil {
-		return nil, errors.New("classifier: nil rule set (pass WithArtifact to open without rules)")
-	}
-	eng, err := engine.NewEngine(cfg.backend, rules, cfg.opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Classifier{eng: eng}, nil
+	c := &Classifier{eng: eng}
+	if cfg.dataplane {
+		dp, err := dataplane.Attach(eng, dataplane.Config{
+			Cores:        cfg.dataplaneCores,
+			CacheEntries: dpCache,
+		})
+		if err != nil {
+			eng.Close()
+			return nil, err
+		}
+		c.dp = dp
+	}
+	return c, nil
 }
 
 // batchChunk bounds how many packets ClassifyBatch hands to the engine
@@ -143,7 +166,11 @@ func (c *Classifier) Classify(ctx context.Context, key Packet) (match Rule, ok b
 	if err := ctx.Err(); err != nil {
 		return Rule{}, false, err
 	}
-	match, ok = c.eng.Classify(key)
+	if c.dp != nil {
+		match, ok = c.dp.Classify(key)
+	} else {
+		match, ok = c.eng.Classify(key)
+	}
 	return match, ok, nil
 }
 
@@ -164,7 +191,11 @@ func (c *Classifier) ClassifyBatch(ctx context.Context, keys []Packet) ([]Result
 		if hi > len(keys) {
 			hi = len(keys)
 		}
-		c.eng.ClassifyBatch(keys[lo:hi], out[lo:hi])
+		if c.dp != nil {
+			c.dp.ClassifyBatch(keys[lo:hi], out[lo:hi])
+		} else {
+			c.eng.ClassifyBatch(keys[lo:hi], out[lo:hi])
+		}
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -236,6 +267,9 @@ type Stats struct {
 	// ("" / 0 when journaling is disabled).
 	JournalPath    string
 	JournalRecords int
+	// DataplaneCores is the number of run-to-completion classify loops when
+	// the classifier was opened WithDataplane (0 on the worker-pool path).
+	DataplaneCores int
 }
 
 // Stats returns a point-in-time summary of the classifier.
@@ -244,7 +278,12 @@ func (c *Classifier) Stats() Stats {
 		return Stats{}
 	}
 	u := c.eng.UpdaterStats()
+	dpCores := 0
+	if c.dp != nil {
+		dpCores = c.dp.Cores()
+	}
 	return Stats{
+		DataplaneCores: dpCores,
 		Backend:        c.eng.Backend(),
 		Rules:          c.eng.Rules().Len(),
 		Version:        c.eng.Version(),
@@ -298,12 +337,16 @@ func (c *Classifier) Backend() string {
 	return c.eng.Backend()
 }
 
-// Close releases the classifier's background resources (batch workers, the
-// compactor, the journal). The classifier must not be used afterwards.
+// Close releases the classifier's background resources (the dataplane
+// loops when WithDataplane was used, batch workers, the compactor, the
+// journal). The classifier must not be used afterwards.
 func (c *Classifier) Close() error {
 	if c.closed.Swap(true) {
 		return nil
 	}
+	// The dataplane registered itself as an engine closer at Attach, so the
+	// engine drains and stops the loops first, then tears itself down —
+	// in-flight batches complete against a fully live engine.
 	c.eng.Close()
 	return nil
 }

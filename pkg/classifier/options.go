@@ -8,9 +8,11 @@ import (
 
 // config collects the functional options into the engine's build options.
 type config struct {
-	backend  string
-	artifact string
-	opts     engine.Options
+	backend        string
+	artifact       string
+	opts           engine.Options
+	dataplane      bool
+	dataplaneCores int
 }
 
 // Option configures Open.
@@ -67,6 +69,26 @@ func WithCompactThreshold(n int) Option {
 // rule set.
 func WithCompactMaxAge(d time.Duration) Option {
 	return func(c *config) { c.opts.CompactMaxAge = d }
+}
+
+// WithDataplane serves lookups through a run-to-completion dataplane
+// instead of the default worker pool: long-lived per-core classify loops,
+// each owning its slice of the flow space outright, fed over bounded
+// single-producer/single-consumer rings by a demux stage that hashes the
+// 5-tuple — so a flow always lands on the same core and per-flow state
+// needs no locks. cores sets the loop count (0 selects GOMAXPROCS).
+//
+// With the dataplane enabled, a WithFlowCache budget funds lock-free
+// per-core caches instead of the engine's sharded cache (which the
+// dataplane would bypass). Updates, artifacts and stats are unaffected;
+// rule updates reach the loops as epoch messages on the same rings that
+// carry traffic, so a batch submitted after Insert or Delete returns is
+// classified entirely against the new rule generation.
+func WithDataplane(cores int) Option {
+	return func(c *config) {
+		c.dataplane = true
+		c.dataplaneCores = cores
+	}
 }
 
 // WithShards sets the batch-lookup shard count (0 selects GOMAXPROCS). It
