@@ -1,0 +1,94 @@
+package compiled
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+)
+
+// partitionChain hand-builds a classifier whose compile-time MaxStack
+// exceeds lookupStackSize: a chain of nested partition nodes, each holding a
+// leaf and the next partition, so traversal depth (and thus peak stack)
+// grows by one per level. No real backend produces this shape — that is the
+// point: it forces the overflow-stack path.
+func partitionChain(t *testing.T, depth int) *Classifier {
+	t.Helper()
+	c := &Classifier{nodes: make([]node, 2*depth+1), roots: []uint32{0}}
+	for i := 0; i < depth; i++ {
+		c.nodes[2*i] = node{kind: kindPartition, a: uint32(2*i + 1), b: 2}
+		c.nodes[2*i+1] = node{kind: kindLeaf}
+	}
+	c.nodes[2*depth] = node{kind: kindLeaf}
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.packed = packRules(c.rules)
+	c.computeStats()
+	if c.stats.MaxStack <= lookupStackSize {
+		t.Fatalf("chain depth %d gives MaxStack %d, need > %d to exercise the overflow path",
+			depth, c.stats.MaxStack, lookupStackSize)
+	}
+	return c
+}
+
+// TestLookupOverflowStackAllocFree is the regression test for the old
+// per-call heap stack: classifiers whose MaxStack exceeds the fixed lane
+// stack must still look up with zero allocations once the overflow freelist
+// is warm — scalar and batch (which falls back to scalar here) alike.
+func TestLookupOverflowStackAllocFree(t *testing.T) {
+	c := partitionChain(t, 200)
+	p := rule.Packet{SrcIP: 1, DstIP: 2, SrcPort: 3, DstPort: 4, Proto: 6}
+	if got := c.LookupIndex(p); got != -1 {
+		t.Fatalf("empty-rule chain matched %d", got)
+	}
+	allocs := testing.AllocsPerRun(200, func() { c.LookupIndex(p) })
+	if allocs != 0 {
+		t.Errorf("overflow LookupIndex allocates %.1f allocs/op, want 0", allocs)
+	}
+
+	ps := make([]rule.Packet, 32)
+	out := make([]int32, len(ps))
+	c.LookupBatch(ps, out)
+	allocs = testing.AllocsPerRun(100, func() { c.LookupBatch(ps, out) })
+	if allocs != 0 {
+		t.Errorf("overflow LookupBatch allocates %.1f allocs/batch, want 0", allocs)
+	}
+}
+
+// TestLookupBatchAllocFree asserts the grouped path itself — lanes, scratch,
+// refill — is allocation-free on a real compiled tree once the scratch
+// freelist is warm. This is the allocs gate the perf lab's batch cell
+// depends on.
+func TestLookupBatchAllocFree(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 rules: deep enough that the forest clears batchMinVisits — a
+	// smaller acl1 tree would silently route this gate through the scalar
+	// fallback instead of the grouped machinery it exists to pin.
+	set := classbench.Generate(fam, 2000, 9)
+	tr, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(set, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.BatchEligible() {
+		t.Fatal("test tree not batch-eligible; grow the rule set so the grouped path is exercised")
+	}
+	var ps []rule.Packet
+	for _, e := range classbench.GenerateTrace(set, 256, 17) {
+		ps = append(ps, e.Key)
+	}
+	out := make([]int32, len(ps))
+	c.LookupBatch(ps, out) // warm the scratch freelist
+	allocs := testing.AllocsPerRun(100, func() { c.LookupBatch(ps, out) })
+	if allocs != 0 {
+		t.Errorf("LookupBatch allocates %.1f allocs/batch, want 0", allocs)
+	}
+}

@@ -1,0 +1,198 @@
+package compiled_test
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/compiled"
+	"neurocuts/internal/core"
+	"neurocuts/internal/env"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+// buildAllBackendTrees extends the shared buildTrees harness with the
+// learned backend, so the batch differential covers all 5 tree shapes. The
+// trained tree is skipped in -short mode (training is the only expensive
+// build).
+func buildAllBackendTrees(t *testing.T, set *rule.Set) map[string][]*tree.Tree {
+	t.Helper()
+	out := buildTrees(t, set)
+	if !testing.Short() {
+		cfg := core.Scaled(1000)
+		cfg.MaxTimesteps = 600
+		cfg.BatchTimesteps = 256
+		cfg.Workers = 2
+		cfg.Seed = 42
+		cfg.Partition = env.PartitionNone
+		trainer := core.NewTrainer(set, cfg)
+		if _, err := trainer.Train(); err != nil {
+			t.Fatal(err)
+		}
+		nt, _ := trainer.BestTree()
+		if nt == nil {
+			t.Fatal("neurocuts training produced no tree")
+		}
+		out["neurocuts"] = []*tree.Tree{nt}
+	}
+	return out
+}
+
+// TestDifferentialLookupBatch is the grouped-traversal differential:
+// LookupBatch must return byte-identical results to per-packet LookupIndex
+// — and both must agree with reference linear search — over a 12k-packet
+// sample, for every tree backend, at batch lengths straddling the group
+// width (1, G-1, G, G+1, 3G+2) so lane refill, the sub-group scalar
+// fallback and partially-filled groups are all crossed.
+func TestDifferentialLookupBatch(t *testing.T) {
+	const g = compiled.BatchGroup
+	lengths := []int{1, g - 1, g, g + 1, 3*g + 2}
+
+	total := 0
+	grouped, fallback := 0, 0
+	for _, family := range []string{"acl1", "fw1"} {
+		fam, err := classbench.FamilyByName(family)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := classbench.Generate(fam, 250, 42)
+		var packets []rule.Packet
+		for _, e := range classbench.GenerateTrace(set, 5000, 43) {
+			packets = append(packets, e.Key)
+		}
+		for _, e := range classbench.UniformTrace(set, 1000, 44) {
+			packets = append(packets, e.Key)
+		}
+		total += len(packets)
+
+		for backend, trees := range buildAllBackendTrees(t, set) {
+			c, err := compiled.Compile(set, trees...)
+			if err != nil {
+				t.Fatalf("%s/%s: compile: %v", backend, family, err)
+			}
+			if c.BatchEligible() {
+				grouped++
+			} else {
+				fallback++
+			}
+			// Scalar reference over the whole sample, checked against linear
+			// search once; the batch runs below then compare against it.
+			scalar := make([]int32, len(packets))
+			for i, p := range packets {
+				scalar[i] = int32(c.LookupIndex(p))
+				want := int32(set.MatchIndex(p))
+				if scalar[i] != want {
+					t.Fatalf("%s/%s: packet %d: linear=%d scalar=%d",
+						backend, family, i, want, scalar[i])
+				}
+			}
+			out := make([]int32, len(packets))
+			for _, n := range lengths {
+				for i := range out {
+					out[i] = -2 // poison: every slot must be written
+				}
+				for off := 0; off < len(packets); off += n {
+					hi := off + n
+					if hi > len(packets) {
+						hi = len(packets)
+					}
+					c.LookupBatch(packets[off:hi], out[off:hi])
+				}
+				for i := range out {
+					if out[i] != scalar[i] {
+						t.Fatalf("%s/%s: batchlen %d: packet %d: scalar=%d batch=%d",
+							backend, family, n, i, scalar[i], out[i])
+					}
+				}
+			}
+		}
+	}
+	if total < 12000 {
+		t.Fatalf("sample too small: %d packets", total)
+	}
+	// The adaptive dispatch must leave both code paths covered: some built
+	// forests deep enough to engage the grouped traversal, some shallow
+	// enough to take the scalar fallback. If a threshold change collapses
+	// either bucket to zero, this differential stops testing that path.
+	if grouped == 0 || fallback == 0 {
+		t.Fatalf("adaptive dispatch coverage lost: %d grouped, %d fallback forests", grouped, fallback)
+	}
+}
+
+// TestLookupBatchDegenerate covers the paths a fuzzer of batch lengths
+// would hit first: empty input, single packet (scalar fallback), and an
+// out slice longer than ps (only the first len(ps) slots are written).
+func TestLookupBatchDegenerate(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 100, 7)
+	trees := buildTrees(t, set)["hicuts"]
+	c, err := compiled.Compile(set, trees...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.LookupBatch(nil, nil) // must not panic
+
+	var ps []rule.Packet
+	for _, e := range classbench.GenerateTrace(set, 4, 8) {
+		ps = append(ps, e.Key)
+	}
+	out := make([]int32, len(ps)+3)
+	for i := range out {
+		out[i] = -2
+	}
+	c.LookupBatch(ps[:1], out)
+	if out[0] != int32(c.LookupIndex(ps[0])) {
+		t.Fatalf("single-packet batch: got %d want %d", out[0], c.LookupIndex(ps[0]))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] != -2 {
+			t.Fatalf("out[%d] written beyond len(ps)", i)
+		}
+	}
+}
+
+// BenchmarkLookupScalarVsBatch compares per-packet cost of the scalar and
+// grouped paths on a mid-size compiled tree with a rule-directed trace —
+// the quick local proxy for the perf lab's compiledbatch cell.
+func BenchmarkLookupScalarVsBatch(b *testing.B) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	set := classbench.Generate(fam, 10000, 5)
+	ht, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := compiled.Compile(set, ht)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ps []rule.Packet
+	for _, e := range classbench.GenerateTrace(set, 4096, 21) {
+		ps = append(ps, e.Key)
+	}
+	out := make([]int32, len(ps))
+
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range ps {
+				out[j] = int32(c.LookupIndex(ps[j]))
+			}
+		}
+		b.SetBytes(int64(len(ps)))
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.LookupBatch(ps, out)
+		}
+		b.SetBytes(int64(len(ps)))
+	})
+}

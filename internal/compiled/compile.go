@@ -49,6 +49,7 @@ func Compile(set *rule.Set, trees ...*tree.Tree) (*Classifier, error) {
 		c.nodes[i] = nd
 	}
 
+	c.nodes = alignNodeSlab(c.nodes)
 	c.packed = packRules(c.rules)
 	if err := c.validate(); err != nil {
 		return nil, fmt.Errorf("compiled: internal inconsistency: %w", err)
@@ -97,7 +98,7 @@ func (c *Classifier) compileNode(pn *tree.Node, ruleIdx map[rule.Rule]uint32, qu
 		nd.kind = kindCustomCut
 		nd.ndims = uint8(dim)
 		nd.cut = uint32(len(c.cutPoints))
-		nd.cutN = uint32(len(pn.Children) - 1)
+		// The boundary count is implied: nd.b - 1.
 		// Recover the boundaries from the child boxes: child j starts at
 		// its own Lo, so the points are the Lo of children 1..k-1.
 		prev := pn.Children[0].Box[dim].Lo
@@ -136,6 +137,12 @@ func (c *Classifier) compileNode(pn *tree.Node, ruleIdx map[rule.Rule]uint32, qu
 		if product != len(pn.Children) {
 			return node{}, fmt.Errorf("compiled: cut fan-out %d does not match %d children", product, len(pn.Children))
 		}
+		// Denormalize the first descriptor into the node so single-dimension
+		// cuts dispatch from the node's own cache line.
+		d0 := &c.cutDescs[nd.cut]
+		nd.dim0 = d0.dim
+		nd.lo0 = d0.lo
+		nd.step0 = normStep(d0.step)
 		return nd, nil
 
 	default:
@@ -236,6 +243,10 @@ func (c *Classifier) validate() error {
 			if product != uint64(nd.b) {
 				return fmt.Errorf("node %d: cut fan-out %d does not match %d children", i, product, nd.b)
 			}
+			d0 := c.cutDescs[nd.cut]
+			if nd.dim0 != d0.dim || nd.lo0 != d0.lo || nd.step0 != normStep(d0.step) {
+				return fmt.Errorf("node %d: inline cut descriptor out of sync with slab", i)
+			}
 		case kindCustomCut:
 			if err := checkChildren(i, nd); err != nil {
 				return err
@@ -243,14 +254,12 @@ func (c *Classifier) validate() error {
 			if nd.ndims >= rule.NumDims {
 				return fmt.Errorf("node %d: custom cut dimension %d invalid", i, nd.ndims)
 			}
-			if nd.cutN == 0 || uint64(nd.cut)+uint64(nd.cutN) > nPoints {
+			cutN := nd.b - 1 // boundary count is implied by the child count
+			if cutN == 0 || uint64(nd.cut)+uint64(cutN) > nPoints {
 				return fmt.Errorf("node %d: boundary span out of range", i)
 			}
-			if uint64(nd.b) != uint64(nd.cutN)+1 {
-				return fmt.Errorf("node %d: %d boundaries need %d children, have %d", i, nd.cutN, nd.cutN+1, nd.b)
-			}
 			prev := uint64(0)
-			for k := uint32(0); k < nd.cutN; k++ {
+			for k := uint32(0); k < cutN; k++ {
 				p := c.cutPoints[nd.cut+k]
 				if k > 0 && p <= prev {
 					return fmt.Errorf("node %d: boundaries not strictly increasing", i)

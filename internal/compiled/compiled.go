@@ -30,6 +30,9 @@
 package compiled
 
 import (
+	"fmt"
+	"unsafe"
+
 	"neurocuts/internal/rule"
 )
 
@@ -50,23 +53,42 @@ const (
 	kindMax = kindPartition
 )
 
-// node is one flat tree node. The a/b fields are overloaded by kind:
-// leaves use them as a span into the leaf-rule slab, internal nodes as a
-// span of child node indices.
+// node is one flat tree node, packed to exactly 32 bytes so two nodes share
+// each 64-byte cache line and every dispatch-relevant field of a node is
+// reachable from one line fill (pinned by TestNodeLayout). The a/b fields
+// are overloaded by kind: leaves use them as a span into the leaf-rule slab,
+// internal nodes as a span of child node indices.
+//
+// The first cut descriptor of a kindCut node is denormalized inline
+// (dim0/lo0/step0): single-dimension cuts — the overwhelmingly common case —
+// dispatch without touching the cutDescs slab at all, because their fan-out
+// equals the child count b. Multi-dimension cuts still read their full
+// descriptor span. The boundary count of a kindCustomCut node is always its
+// child count minus one, so it is not stored. Both facts keep the on-disk
+// record (which still carries an explicit cutN) derivable, so the artifact
+// schema is unchanged; Load reconstructs the inline fields (deriveInline).
 type node struct {
 	kind uint8
 	// ndims is the cut-dimension count for kindCut and the single cut
 	// dimension index for kindCustomCut; unused otherwise.
 	ndims uint8
+	// dim0 is the first cut dimension for kindCut (== cutDescs[cut].dim).
+	dim0 uint8
+	_    uint8
 	// a is the first leaf-rule index (leaf) or first child node index.
 	a uint32
-	// b is the leaf-rule count (leaf) or child count.
+	// b is the leaf-rule count (leaf) or child count. For kindCustomCut the
+	// boundary point count is b-1.
 	b uint32
 	// cut is the first cut-descriptor index (kindCut) or the first boundary
 	// point index (kindCustomCut).
 	cut uint32
-	// cutN is the boundary point count for kindCustomCut.
-	cutN uint32
+	// lo0/step0 are the first cut descriptor's origin and step for kindCut,
+	// with a step of 0 normalized to MaxUint64 so piece computation divides
+	// unconditionally (see cutPiece); packet field values are at most 32-bit,
+	// so the normalized divide still always yields piece 0.
+	lo0   uint64
+	step0 uint64
 }
 
 // cutDesc describes an equal-sized cut in one dimension: piece index is
@@ -241,9 +263,66 @@ func (c *Classifier) computeStats() {
 }
 
 // In-memory sizes used for the MemoryBytes accounting (kept in sync with
-// the struct definitions above; padded sizes).
+// the struct definitions above; padded sizes, pinned by TestNodeLayout).
 const (
-	nodeBytes       = 20
+	nodeBytes       = 32
 	cutDescBytes    = 24
 	packedRuleBytes = 32
 )
+
+// nodeLineAlign is the byte alignment of the node slab: one cache line, so
+// node pairs never straddle a line boundary.
+const nodeLineAlign = 64
+
+// alignNodeSlab copies nodes into a 64-byte-aligned backing array. Go slice
+// allocations only guarantee the element alignment (8 bytes here), so the
+// slab is carved out of an over-allocated byte buffer instead; the interior
+// pointer keeps the buffer alive and node contains no pointers, so the cast
+// is GC-safe.
+func alignNodeSlab(nodes []node) []node {
+	if len(nodes) == 0 {
+		return nodes
+	}
+	buf := make([]byte, len(nodes)*nodeBytes+nodeLineAlign-1)
+	off := 0
+	if rem := uintptr(unsafe.Pointer(&buf[0])) % nodeLineAlign; rem != 0 {
+		off = int(nodeLineAlign - rem)
+	}
+	out := unsafe.Slice((*node)(unsafe.Pointer(&buf[off])), len(nodes))
+	copy(out, nodes)
+	return out
+}
+
+// deriveInline reconstructs the denormalized per-node fields (dim0, lo0,
+// step0) from the cut-descriptor slab. Compile fills them directly; Load
+// calls this after decoding, because the artifact stores only the canonical
+// descriptor slab. It bounds-checks the descriptor span itself so it is safe
+// on untrusted input ahead of full validation.
+func (c *Classifier) deriveInline() error {
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		if nd.kind != kindCut {
+			continue
+		}
+		if nd.ndims == 0 || uint64(nd.cut)+uint64(nd.ndims) > uint64(len(c.cutDescs)) {
+			return fmt.Errorf("node %d: cut descriptor span out of range", i)
+		}
+		d := &c.cutDescs[nd.cut]
+		nd.dim0 = d.dim
+		nd.lo0 = d.lo
+		nd.step0 = normStep(d.step)
+	}
+	return nil
+}
+
+// normStep maps a zero cut step to MaxUint64 so the hot path can divide
+// without a zero guard: packet field values fit 32 bits, so (v-lo)/MaxUint64
+// is 0 whenever v > lo, which is exactly the piece a zero-step descriptor
+// selects. Compile never emits a zero step (splitRange guarantees step >= 1),
+// but Load accepts artifacts that do.
+func normStep(step uint64) uint64 {
+	if step == 0 {
+		return ^uint64(0)
+	}
+	return step
+}

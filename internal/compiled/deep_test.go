@@ -1,0 +1,136 @@
+package compiled
+
+import (
+	"testing"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/cutsplit"
+	"neurocuts/internal/hicuts"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/tree"
+)
+
+// visitDepth replays a full lookup traversal for p, returning the depth of
+// the deepest leaf the lookup visits. It mirrors the real descent logic
+// (cutPiece for equal cuts, boundary counting for custom cuts, all children
+// for partitions) but follows every pending subtree instead of early-exiting
+// on priority, so it measures the structural worst case the packet exposes.
+func visitDepth(c *Classifier, depth []int32, p rule.Packet) int32 {
+	var vals [rule.NumDims]uint64
+	vals[rule.DimSrcIP] = uint64(p.SrcIP)
+	vals[rule.DimDstIP] = uint64(p.DstIP)
+	vals[rule.DimSrcPort] = uint64(p.SrcPort)
+	vals[rule.DimDstPort] = uint64(p.DstPort)
+	vals[rule.DimProto] = uint64(p.Proto)
+
+	deepest := int32(-1)
+	stack := append([]uint32(nil), c.roots...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for {
+			nd := &c.nodes[cur]
+			switch nd.kind {
+			case kindCut:
+				idx := uint32(0)
+				for k := uint32(0); k < uint32(nd.ndims); k++ {
+					d := &c.cutDescs[nd.cut+k]
+					idx = idx*d.count + cutPiece(vals[d.dim], d.lo, normStep(d.step), d.count)
+				}
+				cur = nd.a + idx
+				continue
+			case kindCustomCut:
+				v := vals[nd.ndims]
+				n := uint32(0)
+				for _, pt := range c.cutPoints[nd.cut : nd.cut+nd.b-1] {
+					if pt <= v {
+						n++
+					}
+				}
+				cur = nd.a + n
+				continue
+			case kindLeaf:
+				if depth[cur] > deepest {
+					deepest = depth[cur]
+				}
+			default: // kindPartition
+				for j := uint32(0); j < nd.b; j++ {
+					stack = append(stack, nd.a+j)
+				}
+			}
+			break
+		}
+	}
+	return deepest
+}
+
+// TestWorstCaseDepthPackets: every synthesized packet must descend to a leaf
+// at the tree's maximum depth — that is the generator's whole contract — on
+// both a single-root equal-cut tree (hicuts) and a multi-root tree with
+// custom cuts (cutsplit). Same seed, same packets.
+func TestWorstCaseDepthPackets(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 500, 11)
+
+	builds := map[string][]*tree.Tree{}
+	ht, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds["hicuts"] = []*tree.Tree{ht}
+	cs, err := cutsplit.Build(set, cutsplit.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds["cutsplit"] = cs.Trees
+
+	for backend, trees := range builds {
+		c, err := Compile(set, trees...)
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		_, depth := c.walkDepths()
+		maxDepth := int32(0)
+		for i := range c.nodes {
+			if c.nodes[i].kind == kindLeaf && depth[i] > maxDepth {
+				maxDepth = depth[i]
+			}
+		}
+		if maxDepth == 0 {
+			t.Fatalf("%s: degenerate tree (max leaf depth 0)", backend)
+		}
+
+		ps := c.WorstCaseDepthPackets(200, 1)
+		if len(ps) != 200 {
+			t.Fatalf("%s: got %d packets, want 200", backend, len(ps))
+		}
+		for i, p := range ps {
+			if got := visitDepth(c, depth, p); got != maxDepth {
+				t.Fatalf("%s: packet %d reaches depth %d, tree max is %d",
+					backend, i, got, maxDepth)
+			}
+		}
+
+		if ps2 := c.WorstCaseDepthPackets(200, 1); len(ps2) != len(ps) || ps2[0] != ps[0] || ps2[199] != ps[199] {
+			t.Errorf("%s: generation not deterministic in seed", backend)
+		}
+
+		// The classbench wrapper gives the packets trace ground truth.
+		trace := classbench.WorstCaseTrace(set, ps[:16])
+		for i, e := range trace {
+			if e.Key != ps[i] {
+				t.Fatalf("trace entry %d key mismatch", i)
+			}
+			if e.MatchRule != set.MatchIndex(e.Key) {
+				t.Fatalf("trace entry %d ground truth mismatch", i)
+			}
+		}
+	}
+
+	if got := (&Classifier{}).WorstCaseDepthPackets(8, 1); got != nil {
+		t.Errorf("empty classifier should yield nil, got %d packets", len(got))
+	}
+}

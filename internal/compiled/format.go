@@ -99,7 +99,14 @@ func Save(w io.Writer, c *Classifier, meta Metadata) error {
 		buf = putU32(buf, nd.a)
 		buf = putU32(buf, nd.b)
 		buf = putU32(buf, nd.cut)
-		buf = putU32(buf, nd.cutN)
+		// The boundary count is implied by the child count in memory but the
+		// record keeps an explicit cutN field, byte-identical to artifacts
+		// written before the 32-byte in-memory node repack.
+		cutN := uint32(0)
+		if nd.kind == kindCustomCut {
+			cutN = nd.b - 1
+		}
+		buf = putU32(buf, cutN)
 	}
 	buf = putU32(buf, uint32(len(c.leafRules)))
 	for _, ri := range c.leafRules {
@@ -227,7 +234,12 @@ func LoadBytes(data []byte) (*Classifier, Metadata, error) {
 			nd.a = d.u32()
 			nd.b = d.u32()
 			nd.cut = d.u32()
-			nd.cutN = d.u32()
+			// In memory the boundary count is implied (b-1); the record's
+			// explicit cutN is only checked for consistency.
+			cutN := d.u32()
+			if d.err == nil && nd.kind == kindCustomCut && uint64(cutN)+1 != uint64(nd.b) {
+				return nil, meta, fmt.Errorf("compiled: node %d: %d boundaries need %d children, have %d", i, cutN, cutN+1, nd.b)
+			}
 		}
 	}
 	if n := d.count(4); d.err == nil {
@@ -258,9 +270,16 @@ func LoadBytes(data []byte) (*Classifier, Metadata, error) {
 	if d.off != len(d.b) {
 		return nil, meta, fmt.Errorf("compiled: %d trailing bytes after artifact body", len(d.b)-d.off)
 	}
+	// The artifact stores only the canonical descriptor slab; reconstruct the
+	// denormalized per-node dispatch fields before validating, then move the
+	// slab to its cache-line-aligned home.
+	if err := c.deriveInline(); err != nil {
+		return nil, meta, fmt.Errorf("compiled: invalid artifact: %w", err)
+	}
 	if err := c.validate(); err != nil {
 		return nil, meta, fmt.Errorf("compiled: invalid artifact: %w", err)
 	}
+	c.nodes = alignNodeSlab(c.nodes)
 	c.packed = packRules(c.rules)
 	c.computeStats()
 	return c, meta, nil

@@ -1,0 +1,102 @@
+package compiled
+
+import (
+	"math"
+	"testing"
+	"unsafe"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/hicuts"
+)
+
+// TestNodeLayout pins the hot-struct geometry the batch traversal is built
+// around: a 32-byte node (two per cache line, so one line fill exposes every
+// dispatch-relevant field), a 32-byte packed match record, and accounting
+// constants that match the real struct sizes. A future field addition that
+// silently fattens either struct fails here instead of quietly halving the
+// nodes-per-line density.
+func TestNodeLayout(t *testing.T) {
+	if got := unsafe.Sizeof(node{}); got != nodeBytes {
+		t.Errorf("node size = %d bytes, layout pinned at %d", got, nodeBytes)
+	}
+	if got := unsafe.Alignof(node{}); got != 8 {
+		t.Errorf("node alignment = %d, want 8", got)
+	}
+	if nodeLineAlign%nodeBytes != 0 {
+		t.Errorf("node size %d does not pack the %d-byte line evenly", nodeBytes, nodeLineAlign)
+	}
+	if got := unsafe.Sizeof(packedRule{}); got != packedRuleBytes {
+		t.Errorf("packedRule size = %d bytes, layout pinned at %d", got, packedRuleBytes)
+	}
+	if got := unsafe.Sizeof(cutDesc{}); got != cutDescBytes {
+		t.Errorf("cutDesc size = %d bytes, accounting uses %d", got, cutDescBytes)
+	}
+}
+
+// TestNodeSlabAlignment asserts alignNodeSlab really lands the slab on a
+// cache-line boundary (Go slice allocations alone only guarantee 8) and
+// preserves the node contents.
+func TestNodeSlabAlignment(t *testing.T) {
+	if got := alignNodeSlab(nil); got != nil {
+		t.Errorf("empty slab should pass through, got %v", got)
+	}
+	for _, n := range []int{1, 2, 3, 17, 1024} {
+		src := make([]node, n)
+		for i := range src {
+			src[i].a = uint32(i + 1)
+			src[i].lo0 = uint64(i) << 32
+		}
+		slab := alignNodeSlab(src)
+		if len(slab) != n {
+			t.Fatalf("n=%d: slab length %d", n, len(slab))
+		}
+		if addr := uintptr(unsafe.Pointer(&slab[0])); addr%nodeLineAlign != 0 {
+			t.Errorf("n=%d: slab at %#x not %d-byte aligned", n, addr, nodeLineAlign)
+		}
+		for i := range slab {
+			if slab[i].a != uint32(i+1) || slab[i].lo0 != uint64(i)<<32 {
+				t.Fatalf("n=%d: node %d corrupted by aligned copy", n, i)
+			}
+		}
+	}
+}
+
+// TestLeafSpansPriorityOrdered pins the property the early-exit leaf scan
+// (scalar and batch alike) depends on: every leaf's rule span is contiguous
+// in the shared slab and sorted by ascending priority. validate() enforces
+// it on load; this test keeps the guarantee visible (and tested) against a
+// real compiled tree.
+func TestLeafSpansPriorityOrdered(t *testing.T) {
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := classbench.Generate(fam, 400, 3)
+	tr, err := hicuts.Build(set, hicuts.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(set, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := 0
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		if nd.kind != kindLeaf {
+			continue
+		}
+		leaves++
+		prev := int32(math.MinInt32)
+		for j := nd.a; j < nd.a+nd.b; j++ {
+			prio := c.packed[c.leafRules[j]].prio
+			if prio < prev {
+				t.Fatalf("node %d: leaf span not priority-sorted (%d after %d)", i, prio, prev)
+			}
+			prev = prio
+		}
+	}
+	if leaves == 0 {
+		t.Fatal("compiled tree has no leaves")
+	}
+}

@@ -8,9 +8,36 @@ import (
 
 // lookupStackSize is the traversal stack capacity kept on the goroutine
 // stack. Classifiers whose compile-time MaxStack exceeds it (pathological
-// partition nesting) fall back to a heap-allocated stack; every tree this
+// partition nesting) fall back to a pooled heap stack; every tree this
 // repository builds stays far below the bound.
 const lookupStackSize = 128
+
+// overflowStacks recycles traversal stacks for classifiers whose MaxStack
+// exceeds lookupStackSize, so even pathological trees look up without a
+// per-call allocation once the freelist is warm. A buffered channel rather
+// than sync.Pool so the allocs/op guarantee also holds under the race
+// detector (Pool randomly drops Puts there); see batchScratches.
+var overflowStacks = make(chan *[]uint32, 16)
+
+func getOverflowStack(minCap int) *[]uint32 {
+	select {
+	case sp := <-overflowStacks:
+		if cap(*sp) < minCap {
+			*sp = make([]uint32, 0, minCap)
+		}
+		return sp
+	default:
+		s := make([]uint32, 0, minCap)
+		return &s
+	}
+}
+
+func putOverflowStack(sp *[]uint32) {
+	select {
+	case overflowStacks <- sp:
+	default:
+	}
+}
 
 // Lookup returns the highest-priority rule matching the packet, or ok=false
 // when no rule matches. It is allocation-free and safe for concurrent use.
@@ -31,12 +58,35 @@ func (c *Classifier) Lookup(p rule.Packet) (rule.Rule, bool) {
 // skipped once a better match is already held.
 func (c *Classifier) LookupIndex(p rule.Packet) int {
 	var stackArr [lookupStackSize]uint32
-	var stack []uint32
 	if c.stats.MaxStack <= lookupStackSize {
-		stack = stackArr[:0]
-	} else {
-		stack = make([]uint32, 0, c.stats.MaxStack)
+		return c.lookupIndex(p, stackArr[:0])
 	}
+	sp := getOverflowStack(c.stats.MaxStack)
+	best := c.lookupIndex(p, (*sp)[:0])
+	putOverflowStack(sp)
+	return best
+}
+
+// cutPiece locates the piece index of value v under an equal-sized cut with
+// origin lo, normalized step (see normStep) and the given fan-out. It is
+// branch-free — the clamp and the v<=lo guard compile to conditional moves —
+// and mirrors tree.childForPacket exactly: piece 0 when v <= lo, otherwise
+// (v-lo)/step with the final piece absorbing the division remainder.
+func cutPiece(v, lo, step uint64, count uint32) uint32 {
+	q := uint32((v - lo) / step)
+	if q > count-1 {
+		q = count - 1
+	}
+	if v <= lo {
+		q = 0
+	}
+	return q
+}
+
+// lookupIndex is the traversal core behind LookupIndex; the caller supplies
+// the (empty) stack so the fixed-size fast path and the pooled overflow path
+// share one implementation.
+func (c *Classifier) lookupIndex(p rule.Packet, stack []uint32) int {
 	stack = append(stack, c.roots...)
 
 	best := -1
@@ -49,6 +99,14 @@ func (c *Classifier) LookupIndex(p rule.Packet) int {
 			nd := &c.nodes[cur]
 			switch nd.kind {
 			case kindCut:
+				if nd.ndims == 1 {
+					// Single-dimension cut: the fan-out is the child count
+					// and the descriptor is inline, so dispatch touches only
+					// the node's own cache line.
+					v := p.Field(rule.Dimension(nd.dim0))
+					cur = nd.a + cutPiece(v, nd.lo0, nd.step0, nd.b)
+					continue descend
+				}
 				idx := uint32(0)
 				base := nd.cut
 				for k := uint32(0); k < uint32(nd.ndims); k++ {
@@ -69,7 +127,7 @@ func (c *Classifier) LookupIndex(p rule.Packet) int {
 
 			case kindCustomCut:
 				v := p.Field(rule.Dimension(nd.ndims))
-				pts := c.cutPoints[nd.cut : nd.cut+nd.cutN]
+				pts := c.cutPoints[nd.cut : nd.cut+nd.b-1]
 				// Child index = number of boundaries <= v.
 				lo, hi := 0, len(pts)
 				for lo < hi {

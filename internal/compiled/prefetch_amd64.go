@@ -1,0 +1,14 @@
+//go:build amd64
+
+package compiled
+
+import "unsafe"
+
+// prefetchT0 issues a PREFETCHT0 hint for the cache line containing p, so
+// the line is (speculatively) in flight by the time the grouped traversal
+// returns to this lane. It is advisory: the CPU may drop it, and a wrong
+// address costs nothing, which is why the batch stepper can prefetch a
+// child node before knowing whether the lane will survive that deep.
+//
+//go:noescape
+func prefetchT0(p unsafe.Pointer)

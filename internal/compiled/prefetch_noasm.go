@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package compiled
+
+import "unsafe"
+
+// prefetchT0 is a no-op where no prefetch instruction is exposed; grouped
+// traversal still overlaps the lanes' demand misses, which is most of the
+// batch win.
+func prefetchT0(p unsafe.Pointer) { _ = p }

@@ -99,6 +99,14 @@ type loop struct {
 	cache *coreCache
 	view  engine.View
 
+	// missPs/missOut/missPos stage one span's cache misses (or, with no
+	// cache, the whole span) so the View classifies them as a single batch —
+	// compiled snapshots then run their grouped prefetching traversal.
+	// Touched only by the loop goroutine; grown to the largest span seen.
+	missPs  []rule.Packet
+	missOut []engine.Result
+	missPos []int32
+
 	batches atomic.Uint64
 	packets atomic.Uint64
 	epochs  atomic.Uint64
@@ -455,31 +463,49 @@ func (d *Dataplane) handle(lp *loop, it *item) {
 	case itemBatch:
 		v := lp.view
 		ver := v.Version()
-		var hits, misses uint64
-		for i := range it.ps {
-			p := it.ps[i]
-			var r rule.Rule
-			var ok bool
-			if lp.cache != nil {
+		n := len(it.ps)
+		if cap(lp.missPs) < n {
+			lp.missPs = make([]rule.Packet, n)
+			lp.missOut = make([]engine.Result, n)
+			lp.missPos = make([]int32, n)
+		}
+		var hits uint64
+		miss := 0
+		if lp.cache != nil {
+			// Serve hits in place; gather the misses into the loop's staging
+			// buffers so they hit the backend as one dense span.
+			for i := range it.ps {
+				p := it.ps[i]
 				if cr, cok, hit := lp.cache.get(p, ver); hit {
-					r, ok = cr, cok
+					o := &it.out[it.idx[i]]
+					o.Rule, o.OK = cr, cok
 					hits++
-				} else {
-					r, ok = v.Classify(p)
-					lp.cache.put(p, ver, r, ok)
-					misses++
+					continue
 				}
-			} else {
-				r, ok = v.Classify(p)
+				lp.missPs[miss] = p
+				lp.missPos[miss] = it.idx[i]
+				miss++
 			}
-			o := &it.out[it.idx[i]]
-			o.Rule, o.OK = r, ok
+		} else {
+			copy(lp.missPs[:n], it.ps)
+			copy(lp.missPos[:n], it.idx)
+			miss = n
+		}
+		if miss > 0 {
+			v.ClassifyBatch(lp.missPs[:miss], lp.missOut[:miss])
+			for j := 0; j < miss; j++ {
+				r := &lp.missOut[j]
+				it.out[lp.missPos[j]] = *r
+				if lp.cache != nil {
+					lp.cache.put(lp.missPs[j], ver, r.Rule, r.OK)
+				}
+			}
 		}
 		if hits != 0 {
 			lp.hits.Add(hits)
 		}
-		if misses != 0 {
-			lp.misses.Add(misses)
+		if lp.cache != nil && miss != 0 {
+			lp.misses.Add(uint64(miss))
 		}
 		lp.packets.Add(uint64(len(it.ps)))
 		lp.batches.Add(1)

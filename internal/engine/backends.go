@@ -46,10 +46,50 @@ type compiledClassifier struct {
 
 func (a *compiledClassifier) Classify(p rule.Packet) (rule.Rule, bool) { return a.c.Lookup(p) }
 
-func (a *compiledClassifier) ClassifyBatch(ps []rule.Packet, out []Result) {
-	for i, p := range ps {
-		out[i].Rule, out[i].OK = a.c.Lookup(p)
+// idxBufs recycles the rule-index scratch that bridges LookupBatch (which
+// reports int32 indices) to the engine's Result shape. A buffered channel
+// rather than sync.Pool so the batch path's zero-alloc guarantee is
+// deterministic under the race detector too (Pool drops a fraction of Puts
+// there); extras beyond the freelist capacity simply allocate.
+var idxBufs = make(chan *[]int32, 64)
+
+func getIdxBuf(n int) *[]int32 {
+	select {
+	case bp := <-idxBufs:
+		if cap(*bp) < n {
+			*bp = make([]int32, n)
+		}
+		return bp
+	default:
+		b := make([]int32, n)
+		return &b
 	}
+}
+
+func putIdxBuf(bp *[]int32) {
+	select {
+	case idxBufs <- bp:
+	default:
+	}
+}
+
+// ClassifyBatch serves the whole span through the grouped compiled traversal
+// (compiled.LookupBatch): packets advance through the node slab in an
+// interleaved prefetching group instead of one dependent-load chain at a
+// time. Results are identical to per-packet Classify calls.
+func (a *compiledClassifier) ClassifyBatch(ps []rule.Packet, out []Result) {
+	bp := getIdxBuf(len(ps))
+	idx := (*bp)[:len(ps)]
+	a.c.LookupBatch(ps, idx)
+	rules := a.c.Rules()
+	for i, ix := range idx {
+		if ix >= 0 {
+			out[i].Rule, out[i].OK = rules[ix], true
+		} else {
+			out[i].Rule, out[i].OK = rule.Rule{}, false
+		}
+	}
+	putIdxBuf(bp)
 }
 
 func (a *compiledClassifier) Metrics() Metrics { return a.m }

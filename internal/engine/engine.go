@@ -249,6 +249,14 @@ func (v View) Backend() string { return v.s.backend }
 // per-core design removes.
 func (v View) Classify(p rule.Packet) (rule.Rule, bool) { return v.s.cls.Classify(p) }
 
+// ClassifyBatch classifies ps[i] into out[i] against the pinned snapshot.
+// Like Classify it bypasses the engine's shared flow cache and worker pool —
+// dataplane loops shard and cache themselves — but the backend sees the
+// whole span at once, so compiled tree snapshots serve it through the
+// grouped prefetching traversal instead of one dependent-load chain per
+// packet. out must be at least as long as ps.
+func (v View) ClassifyBatch(ps []rule.Packet, out []Result) { v.s.cls.ClassifyBatch(ps, out) }
+
 // EngineStats is an operator-visible snapshot of an engine's serving state:
 // identity, counters, flow-cache effectiveness and the online-update
 // subsystem's state. It is what the HTTP admin plane's /metrics endpoint
@@ -377,16 +385,71 @@ func (e *Engine) classifyOne(s *snapshot, p rule.Packet) (rule.Rule, bool) {
 	return r, ok
 }
 
+// missScratch holds one chunk's cache misses so they can be classified as a
+// single backend batch (and so reach the compiled backends' grouped
+// traversal) instead of one packet at a time.
+type missScratch struct {
+	ps  []rule.Packet
+	out []Result
+	pos []int32
+}
+
+// missScratches recycles miss-collection scratches. A buffered channel rather
+// than sync.Pool so the cached batch path stays allocation-free under the
+// race detector too (Pool drops a fraction of Puts there).
+var missScratches = make(chan *missScratch, 64)
+
+func getMissScratch(n int) *missScratch {
+	var ms *missScratch
+	select {
+	case ms = <-missScratches:
+	default:
+		ms = new(missScratch)
+	}
+	if cap(ms.ps) < n {
+		ms.ps = make([]rule.Packet, n)
+		ms.out = make([]Result, n)
+		ms.pos = make([]int32, n)
+	}
+	return ms
+}
+
+func putMissScratch(ms *missScratch) {
+	select {
+	case missScratches <- ms:
+	default:
+	}
+}
+
 // classifyChunk classifies one span of a batch against a pinned snapshot,
-// through the flow cache when one is configured.
+// through the flow cache when one is configured. With a cache, hits are
+// served in place and the misses are gathered into one backend batch — the
+// backend sees a dense span either way, so compiled classifiers run their
+// grouped prefetching traversal even behind the cache.
 func (e *Engine) classifyChunk(s *snapshot, ps []rule.Packet, out []Result) {
 	if e.cache == nil {
 		s.cls.ClassifyBatch(ps, out)
 		return
 	}
+	ms := getMissScratch(len(ps))
+	miss := 0
 	for i, p := range ps {
-		out[i].Rule, out[i].OK = e.classifyOne(s, p)
+		if r, ok, hit := e.cache.get(p, s.version); hit {
+			out[i].Rule, out[i].OK = r, ok
+			continue
+		}
+		ms.ps[miss] = p
+		ms.pos[miss] = int32(i)
+		miss++
 	}
+	if miss > 0 {
+		s.cls.ClassifyBatch(ms.ps[:miss], ms.out[:miss])
+		for j := 0; j < miss; j++ {
+			out[ms.pos[j]] = ms.out[j]
+			e.cache.put(ms.ps[j], s.version, ms.out[j].Rule, ms.out[j].OK)
+		}
+	}
+	putMissScratch(ms)
 }
 
 // Metrics reports the current snapshot's metrics.

@@ -33,17 +33,75 @@ type overlayClassifier struct {
 
 func (o *overlayClassifier) Classify(p rule.Packet) (rule.Rule, bool) { return o.view.Classify(p) }
 
-func (o *overlayClassifier) ClassifyBatch(ps []rule.Packet, out []Result) {
-	for i, p := range ps {
-		out[i].Rule, out[i].OK = o.view.Classify(p)
+// overlayScratch stages one batch's merged results in the updater's
+// parallel-array shape before they are folded into the engine's []Result.
+type overlayScratch struct {
+	rules []rule.Rule
+	oks   []bool
+	// out stages the backend's []Result when this scratch serves the base
+	// batch adapter in newBase (sized lazily there).
+	out []Result
+}
+
+// overlayScratches recycles overlay batch scratches — a buffered channel
+// rather than sync.Pool for the same race-determinism reason as idxBufs.
+var overlayScratches = make(chan *overlayScratch, 64)
+
+func getOverlayScratch(n int) *overlayScratch {
+	var sc *overlayScratch
+	select {
+	case sc = <-overlayScratches:
+	default:
+		sc = new(overlayScratch)
 	}
+	if cap(sc.rules) < n {
+		sc.rules = make([]rule.Rule, n)
+		sc.oks = make([]bool, n)
+	}
+	return sc
+}
+
+func putOverlayScratch(sc *overlayScratch) {
+	select {
+	case overlayScratches <- sc:
+	default:
+	}
+}
+
+// ClassifyBatch serves the span through the updater view's batched merge, so
+// the base lookups underneath run as one backend batch (the grouped compiled
+// traversal for tree backends) instead of one packet at a time.
+func (o *overlayClassifier) ClassifyBatch(ps []rule.Packet, out []Result) {
+	sc := getOverlayScratch(len(ps))
+	rules, oks := sc.rules[:len(ps)], sc.oks[:len(ps)]
+	o.view.ClassifyBatch(ps, rules, oks)
+	for i := range ps {
+		out[i].Rule, out[i].OK = rules[i], oks[i]
+	}
+	putOverlayScratch(sc)
 }
 
 func (o *overlayClassifier) Metrics() Metrics { return o.m }
 
-// newBase wraps a built classifier as an overlay base.
+// newBase wraps a built classifier as an overlay base, handing the updater
+// both the scalar and the batched lookup so merged views can classify spans
+// through the backend's batch path.
 func newBase(cls Classifier, set *rule.Set) (*updater.Base, error) {
-	return updater.NewBase(set, cls.Classify)
+	batch := func(ps []rule.Packet, rules []rule.Rule, oks []bool) {
+		sc := getOverlayScratch(len(ps))
+		// getOverlayScratch only sizes rules/oks; the Result staging area
+		// rides alongside so the base batch reuses the same freelist.
+		if cap(sc.out) < len(ps) {
+			sc.out = make([]Result, len(ps))
+		}
+		out := sc.out[:len(ps)]
+		cls.ClassifyBatch(ps, out)
+		for i := range out {
+			rules[i], oks[i] = out[i].Rule, out[i].OK
+		}
+		putOverlayScratch(sc)
+	}
+	return updater.NewBaseBatch(set, cls.Classify, batch)
 }
 
 // initUpdater turns the freshly built engine into an overlay-updating one:

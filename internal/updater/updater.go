@@ -75,11 +75,22 @@ var ErrRankSpace = errors.New("updater: rank space exhausted between base anchor
 // shadower is deleted.
 type LookupFunc func(p rule.Packet) (rule.Rule, bool)
 
+// BatchLookupFunc is a base classifier's batched lookup: it classifies
+// ps[i] into (rules[i], oks[i]) for every i. It must be result-identical to
+// len(ps) LookupFunc calls and carries the same soundness contract (full
+// base list, tombstoned rules included). Bases built from the engine's
+// compiled tree backends route this through the grouped prefetching
+// traversal, which is why View.ClassifyBatch exists at all.
+type BatchLookupFunc func(ps []rule.Packet, rules []rule.Rule, oks []bool)
+
 // Base is one immutable base generation: a built classifier, the rule set
 // it was built over, and the ID->index mapping Views need. It is shared by
 // every View derived between two compactions.
 type Base struct {
-	lookup    LookupFunc
+	lookup LookupFunc
+	// batch is the optional batched lookup (nil bases serve batches as a
+	// scalar loop).
+	batch     BatchLookupFunc
 	set       *rule.Set
 	indexByID map[int]int
 }
@@ -102,6 +113,18 @@ func NewBase(set *rule.Set, lookup LookupFunc) (*Base, error) {
 		idx[r.ID] = i
 	}
 	return &Base{lookup: lookup, set: set, indexByID: idx}, nil
+}
+
+// NewBaseBatch is NewBase with an additional batched base lookup, which
+// View.ClassifyBatch uses to classify whole spans against the base in one
+// call. batch may be nil, in which case batches degrade to scalar lookups.
+func NewBaseBatch(set *rule.Set, lookup LookupFunc, batch BatchLookupFunc) (*Base, error) {
+	b, err := NewBase(set, lookup)
+	if err != nil {
+		return nil, err
+	}
+	b.batch = batch
+	return b, nil
 }
 
 // Set returns the base's rule set.
@@ -235,6 +258,70 @@ func (v *View) tombstoned(bi int) bool {
 // lookup (with a tombstone check on its winner), a rank comparison and a
 // binary search back to the canonical merged rule.
 func (v *View) Classify(p rule.Packet) (rule.Rule, bool) {
+	br, bok := v.base.lookup(p)
+	return v.resolve(p, br, bok)
+}
+
+// batchScratch stages one ClassifyBatch call's base lookup results.
+type batchScratch struct {
+	rules []rule.Rule
+	oks   []bool
+}
+
+// batchScratches recycles base-result scratches. A buffered channel rather
+// than sync.Pool so the batch path's zero-alloc steady state is
+// deterministic under the race detector too (Pool drops a fraction of Puts
+// there); extras beyond the freelist capacity simply allocate.
+var batchScratches = make(chan *batchScratch, 64)
+
+func getBatchScratch(n int) *batchScratch {
+	var sc *batchScratch
+	select {
+	case sc = <-batchScratches:
+	default:
+		sc = new(batchScratch)
+	}
+	if cap(sc.rules) < n {
+		sc.rules = make([]rule.Rule, n)
+		sc.oks = make([]bool, n)
+	}
+	return sc
+}
+
+func putBatchScratch(sc *batchScratch) {
+	select {
+	case batchScratches <- sc:
+	default:
+	}
+}
+
+// ClassifyBatch classifies ps[i] into (rules[i], oks[i]) for every i,
+// result-identical to per-packet Classify calls. The base lookups run as one
+// batched call when the base provides one (so a compiled tree base serves
+// the span through its grouped prefetching traversal); the overlay probe,
+// tombstone resolution and rank mapping stay scalar per packet — the overlay
+// is small by construction, the base is where the memory latency lives.
+func (v *View) ClassifyBatch(ps []rule.Packet, rules []rule.Rule, oks []bool) {
+	if v.base.batch == nil || len(ps) < 2 {
+		for i, p := range ps {
+			rules[i], oks[i] = v.Classify(p)
+		}
+		return
+	}
+	sc := getBatchScratch(len(ps))
+	brs, boks := sc.rules[:len(ps)], sc.oks[:len(ps)]
+	v.base.batch(ps, brs, boks)
+	for i, p := range ps {
+		rules[i], oks[i] = v.resolve(p, brs[i], boks[i])
+	}
+	putBatchScratch(sc)
+}
+
+// resolve merges one packet's precomputed base lookup result with the
+// overlay probe and tombstone set, mapping the winning rank back to the
+// canonical merged rule. It is the shared back half of Classify and
+// ClassifyBatch.
+func (v *View) resolve(p rule.Packet, baseRule rule.Rule, baseOK bool) (rule.Rule, bool) {
 	bestRank := int64(math.MaxInt64)
 	found := false
 
@@ -245,7 +332,7 @@ func (v *View) Classify(p rule.Packet) (rule.Rule, bool) {
 		}
 	}
 
-	if r, ok := v.base.lookup(p); ok {
+	if r, ok := baseRule, baseOK; ok {
 		bi := r.Priority
 		if v.tombsN > 0 && v.tombstoned(bi) {
 			// The base's best match is deleted: rescan the base list past
