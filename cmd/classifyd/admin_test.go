@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -113,6 +114,96 @@ func TestAdminPlaneEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "admin plane on http://") {
 		t.Fatalf("daemon did not announce the admin plane:\n%s", out.String())
+	}
+}
+
+// TestTelemetryEndToEnd drives a real daemon with -admin and
+// -slow-threshold 0 (capture every lookup): after wire traffic, /metrics
+// must stay promlint-clean while exposing the native latency histogram
+// families with real counts, and /debug/slow must serve a well-formed
+// flight-recorder dump.
+func TestTelemetryEndToEnd(t *testing.T) {
+	addr, adminAddr, sig, errCh, out := startDaemonWithAdmin(t, []string{
+		"-family", "acl1", "-size", "200", "-algo", "tss", "-online",
+		"-listen", "127.0.0.1:0", "-admin", "127.0.0.1:0",
+		"-slow-threshold", "0",
+	})
+	defer func() {
+		sig <- syscall.SIGTERM
+		if err := <-errCh; err != nil {
+			t.Errorf("daemon exit: %v\noutput:\n%s", err, out.String())
+		}
+	}()
+
+	client := dialDaemon(t, addr)
+	for i := 0; i < 8; i++ {
+		if _, _, _, err := client.Classify(parsePacket(t, "10.0.0.1 192.168.1.1 1234 80 6")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := client.AddRule(0, "@10.0.0.0/8 0.0.0.0/0 0 : 65535 80 : 80 0x06/0xFF"); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := adminGet(t, adminAddr, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := admin.LintMetrics([]byte(body)); err != nil {
+		t.Fatalf("telemetry /metrics fails the exposition-format lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"# TYPE neurocuts_lookup_latency_seconds histogram",
+		"# TYPE neurocuts_update_latency_seconds histogram",
+		"# TYPE neurocuts_dataplane_batch_latency_seconds histogram",
+		"# TYPE neurocuts_server_request_latency_seconds histogram",
+		`neurocuts_lookup_latency_seconds_count{path="single"} 8`,
+		`neurocuts_update_latency_seconds_count{op="insert"} 1`,
+		`neurocuts_server_request_latency_seconds_count{proto="v1"} 9`,
+		`neurocuts_lookup_latency_seconds_bucket{path="single",le="+Inf"} 8`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = adminGet(t, adminAddr, "/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slow = %d", code)
+	}
+	var dump struct {
+		ThresholdNanos int64 `json:"threshold_nanos"`
+		Entries        []struct {
+			LatencyNanos    int64  `json:"latency_nanos"`
+			Table           string `json:"table"`
+			Backend         string `json:"backend"`
+			Path            string `json:"path"`
+			WorstCaseVisits int64  `json:"worst_case_visits"`
+			DepthBucket     int    `json:"depth_bucket"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/slow is not JSON: %v\n%s", err, body)
+	}
+	if dump.ThresholdNanos != 0 {
+		t.Errorf("threshold_nanos = %d, want 0", dump.ThresholdNanos)
+	}
+	if len(dump.Entries) == 0 {
+		t.Fatal("/debug/slow captured nothing at threshold 0")
+	}
+	for i, e := range dump.Entries {
+		if e.Table != "default" || e.Backend != "tss" {
+			t.Errorf("entry %d: table=%q backend=%q, want default/tss", i, e.Table, e.Backend)
+		}
+		if e.Path != "single" {
+			t.Errorf("entry %d: path=%q, want single (v1 classify)", i, e.Path)
+		}
+		if e.WorstCaseVisits <= 0 || e.DepthBucket <= 0 {
+			t.Errorf("entry %d: visits=%d depth_bucket=%d, want positive", i, e.WorstCaseVisits, e.DepthBucket)
+		}
+		if i > 0 && e.LatencyNanos > dump.Entries[i-1].LatencyNanos {
+			t.Errorf("entries not sorted worst-first at %d", i)
+		}
 	}
 }
 

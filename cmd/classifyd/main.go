@@ -71,6 +71,7 @@ import (
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/server"
+	"neurocuts/internal/telemetry"
 )
 
 func main() {
@@ -100,7 +101,7 @@ func startAdmin(stdout io.Writer, addr string, opts admin.Options) (func(context
 	if err != nil {
 		return nil, err
 	}
-	fmt.Fprintf(stdout, "classifyd: admin plane on http://%s (/metrics /healthz /readyz /tables /debug/pprof/)\n", bound)
+	fmt.Fprintf(stdout, "classifyd: admin plane on http://%s (/metrics /healthz /readyz /tables /debug/slow /debug/pprof/)\n", bound)
 	if onAdminListen != nil {
 		onAdminListen(bound)
 	}
@@ -129,7 +130,8 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		compactAt = fs.Int("compact-threshold", 0, "pending updates that trigger background compaction (0 = default, <0 disables)")
 		tables    = fs.String("tables", "", "serve multiple named tables: \"name=key:val,...;name2=...\" (keys: backend, family, size, rules, artifact, journal, online; first table is the default)")
 		listen    = fs.String("listen", "127.0.0.1:9099", "address to serve on")
-		adminAddr = fs.String("admin", "", "serve the HTTP admin plane (Prometheus /metrics, /healthz, /readyz, /tables, /debug/pprof/) on this address")
+		adminAddr = fs.String("admin", "", "serve the HTTP admin plane (Prometheus /metrics, /healthz, /readyz, /tables, /debug/slow, /debug/pprof/) on this address")
+		slowThr   = fs.Duration("slow-threshold", -1, "capture lookups at or above this latency into the slow-lookup flight recorder (/debug/slow; 0 captures everything, negative disables capture; latency histograms are recorded whenever -admin or this flag enables telemetry)")
 		drain     = fs.Duration("drain-timeout", 5*time.Second, "max time to drain in-flight requests on shutdown")
 		query     = fs.String("query", "", "query a running server at this address instead of serving")
 		proto     = fs.String("proto", "v1", "wire protocol for -query: v1 (text) or v2 (framed binary)")
@@ -158,13 +160,22 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		return runQuery(stdout, q)
 	}
 
+	// Online telemetry: armed whenever the admin plane (which renders the
+	// histogram families) or the flight recorder (-slow-threshold >= 0) asks
+	// for it. One shared instance serves every layer of the process.
+	var tel *telemetry.Telemetry
+	if *adminAddr != "" || *slowThr >= 0 {
+		tel = telemetry.New(telemetry.Config{})
+		tel.SetSlowThreshold(slowThr.Nanoseconds())
+	}
+
 	if *tables != "" {
 		if *cores != 0 {
 			return fmt.Errorf("-cores applies to single-table mode only (each table owns its engine; a shared dataplane would need one flow-space per table)")
 		}
 		return runTables(stdout, *tables, tableDefaults{
 			binth: *binth, timesteps: *timesteps, seed: *seed, shards: *shards,
-			compactAt: *compactAt,
+			compactAt: *compactAt, tel: tel,
 		}, *listen, *adminAddr, *drain, sig)
 	}
 
@@ -193,6 +204,7 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 			OnlineUpdates:    *online,
 			JournalPath:      journalPath,
 			CompactThreshold: *compactAt,
+			Telemetry:        tel,
 		})
 		if err != nil {
 			return err
@@ -213,6 +225,7 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 			OnlineUpdates:    *online,
 			JournalPath:      journalPath,
 			CompactThreshold: *compactAt,
+			Telemetry:        tel,
 		})
 		if err != nil {
 			return err
@@ -231,12 +244,14 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	// directly (worker-pool path), or a dataplane fronting it. The dataplane
 	// implements the same server interfaces, so nothing downstream changes.
 	var cls server.Classifier = eng
+	var dp *dataplane.Dataplane
 	if *cores != 0 {
 		dpCores := *cores
 		if dpCores < 0 {
 			dpCores = 0 // Attach maps 0 to GOMAXPROCS
 		}
-		dp, err := dataplane.Attach(eng, dataplane.Config{Cores: dpCores, CacheEntries: dpCache})
+		var err error
+		dp, err = dataplane.Attach(eng, dataplane.Config{Cores: dpCores, CacheEntries: dpCache})
 		if err != nil {
 			return err
 		}
@@ -248,13 +263,14 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	}
 
 	srv := server.New(cls)
+	srv.Telemetry = tel
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "classifyd: serving %s engine (%d rules) on %s\n",
 		engine.DisplayName(eng.Backend()), eng.Rules().Len(), addr)
-	stopAdmin, err := startAdmin(stdout, *adminAddr, admin.Options{Engine: eng, Server: srv})
+	stopAdmin, err := startAdmin(stdout, *adminAddr, admin.Options{Engine: eng, Server: srv, Telemetry: tel, Dataplane: dp})
 	if err != nil {
 		srv.Shutdown(context.Background())
 		return err

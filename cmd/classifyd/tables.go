@@ -14,6 +14,7 @@ import (
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/server"
+	"neurocuts/internal/telemetry"
 )
 
 // tableDefaults carries the daemon-level flags a table spec can override.
@@ -23,6 +24,10 @@ type tableDefaults struct {
 	seed      int64
 	shards    int
 	compactAt int
+	// tel is the process-wide telemetry instance (nil when telemetry is
+	// off). Every table's engine records into it, each under its own table
+	// label in the flight recorder.
+	tel *telemetry.Telemetry
 }
 
 // tableSpec is one parsed table description from the -tables flag.
@@ -130,6 +135,8 @@ func buildTableEngine(spec tableSpec, d tableDefaults) (*engine.Engine, error) {
 		OnlineUpdates:    kv["online"] == "true" || kv["online"] == "1",
 		JournalPath:      journalPath,
 		CompactThreshold: d.compactAt,
+		Telemetry:        d.tel,
+		TelemetryTable:   spec.name,
 	}
 	if artifact := kv["artifact"]; artifact != "" {
 		return engine.NewEngineFromArtifact(artifact, opts)
@@ -187,8 +194,12 @@ func runTables(stdout io.Writer, spec string, d tableDefaults, listen, adminAddr
 	}
 
 	srv := server.NewTables(tabs)
+	srv.Telemetry = d.tel
+	// Tables created live over the v2 protocol share the process telemetry;
+	// their flight-recorder entries carry the instance's default table label.
 	srv.TableCreateOptions = engine.Options{
 		Binth: d.binth, Seed: d.seed, Shards: d.shards, CompactThreshold: d.compactAt,
+		Telemetry: d.tel,
 	}
 	addr, err := srv.Listen(listen)
 	if err != nil {
@@ -197,7 +208,7 @@ func runTables(stdout io.Writer, spec string, d tableDefaults, listen, adminAddr
 	def, _ := tabs.Default()
 	fmt.Fprintf(stdout, "classifyd: serving %d tables on %s (default table %q; v1 text and v2 binary protocols)\n",
 		tabs.Len(), addr, def.Name)
-	stopAdmin, err := startAdmin(stdout, adminAddr, admin.Options{Tables: tabs, Server: srv})
+	stopAdmin, err := startAdmin(stdout, adminAddr, admin.Options{Tables: tabs, Server: srv, Telemetry: d.tel})
 	if err != nil {
 		srv.Shutdown(context.Background())
 		return err

@@ -50,6 +50,8 @@ func main() {
 		dataplaneCmd(os.Args[2:])
 	case "checkcompiledbatch":
 		checkCompiledBatchCmd(os.Args[2:])
+	case "checktelemetry":
+		checkTelemetryCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -73,6 +75,8 @@ func usage() {
                         compare worker-pool vs run-to-completion dataplane batch p99
   perflab checkcompiledbatch [-families F,F -size N -backend B -batches N -batch N -min-factor X]
                         assert grouped LookupBatch p50 beats scalar lookup by >= X per family
+  perflab checktelemetry [-family F -size N -backend B -batches N -batch N -max-overhead-pct X]
+                        assert full telemetry taxes batch p50 by <= X% with zero hot-path allocs
 
 run 'perflab run -h' or 'perflab compare -h' for flags.
 The compiled-vs-legacy grid: perflab run -families acl1 -sizes 300 -skews uniform \
@@ -472,6 +476,63 @@ func checkCompiledBatchCmd(args []string) {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "perflab: "+f)
 		}
+		os.Exit(2)
+	}
+}
+
+// checkTelemetryCmd runs the telemetry-overhead perf cell: the same batch
+// workload through a bare engine and one with the full telemetry stack armed
+// (histograms on every span, flight recorder at threshold 0), gating on the
+// relative batch-p50 cost (-max-overhead-pct) and a zero steady-state
+// allocation delta. Like the other check commands it re-measures on
+// violation and exits 2 only when the violation persists.
+func checkTelemetryCmd(args []string) {
+	fs := flag.NewFlagSet("checktelemetry", flag.ExitOnError)
+	var (
+		family     = fs.String("family", "acl1", "ClassBench family")
+		size       = fs.Int("size", 10000, "rule-set size")
+		backend    = fs.String("backend", "hicuts", "engine backend")
+		batches    = fs.Int("batches", 96, "measured batches per pass")
+		batch      = fs.Int("batch", 512, "packets per batch")
+		runs       = fs.Int("runs", 3, "measurement passes per configuration (best-of)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		maxOverPct = fs.Float64("max-overhead-pct", 5, "max allowed telemetry batch-p50 overhead in percent (0 = report only)")
+		retries    = fs.Int("retries", 2, "re-measure up to this many times on violation")
+		out        = fs.String("out", "BENCH_telemetry.json", "write the comparison as JSON to this path ('' = skip)")
+	)
+	fs.Parse(args)
+
+	var res perf.TelemetryOverhead
+	var violation string
+	for attempt := 0; ; attempt++ {
+		var err error
+		res, err = perf.MeasureTelemetryOverhead(*family, *size, *backend, *batches, *batch, *runs, perf.RunConfig{Seed: *seed})
+		if err != nil {
+			fatal(err)
+		}
+		violation = perf.CheckTelemetry(res, *maxOverPct)
+		if violation == "" || attempt >= *retries {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "perflab: attempt %d/%d: %s — re-measuring\n", attempt+1, *retries+1, violation)
+	}
+	verdict := "ok"
+	if violation != "" {
+		verdict = "REGRESSION"
+	}
+	fmt.Printf("%s_%d_%s batch=%d  off p50 %9.0fns  armed p50 %9.0fns  %+5.1f%%  allocs/batch %.2f vs %.2f (delta %+.2f)  samples=%d slow=%d  %s\n",
+		res.Family, res.Size, res.Backend, res.BatchSize,
+		res.OffP50Nanos, res.OnP50Nanos, res.OverheadPct,
+		res.OnAllocsPerBatch, res.OffAllocsPerBatch, res.AllocsDelta,
+		res.HistogramSamples, res.SlowCaptured, verdict)
+	if *out != "" {
+		if err := writeJSON(*out, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perflab: wrote %s\n", *out)
+	}
+	if violation != "" {
+		fmt.Fprintln(os.Stderr, "perflab: "+violation)
 		os.Exit(2)
 	}
 }

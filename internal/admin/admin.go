@@ -17,7 +17,16 @@
 //	GET /healthz        liveness: 200 once the process serves HTTP
 //	GET /readyz         readiness: 200 while a default table is serving
 //	GET /tables         JSON table listing (mirrors the v2 list-tables op)
+//	GET /debug/slow     slow-lookup flight recorder dump (JSON, worst-first)
 //	GET /debug/pprof/*  CPU/heap/goroutine/... profiles (net/http/pprof)
+//
+// When a telemetry instance is attached (Options.Telemetry), /metrics
+// additionally exposes native Prometheus histogram families — lookup,
+// dataplane-span, update and server-request latency — rendered from the
+// lock-free striped histograms, and /debug/slow dumps the flight recorder.
+// When a dataplane is attached (Options.Dataplane), /metrics gains per-core
+// gauges: ring depth and high watermark, park/wake transition counts,
+// epoch lag and flow-cache hit ratio.
 //
 // The admin listener is separate from the classification listener on
 // purpose: it binds its own (typically loopback or cluster-internal)
@@ -37,8 +46,10 @@ import (
 	"sync"
 	"time"
 
+	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/server"
+	"neurocuts/internal/telemetry"
 )
 
 // Options selects the admin server's data sources. Exactly one of Tables
@@ -56,6 +67,12 @@ type Options struct {
 	EngineName string
 	// Server, when non-nil, contributes the wire server's request counters.
 	Server *server.Server
+	// Telemetry, when non-nil, contributes the latency histogram families
+	// to /metrics and backs the /debug/slow flight-recorder dump.
+	Telemetry *telemetry.Telemetry
+	// Dataplane, when non-nil, contributes the per-core run-to-completion
+	// gauges (ring depth/high-watermark, parks/wakes, epoch lag, hit ratio).
+	Dataplane *dataplane.Dataplane
 	// Ready overrides the readiness check: /readyz returns 200 exactly when
 	// it returns nil. The default reports ready while a default table (or
 	// the single engine) is present.
@@ -71,6 +88,8 @@ type Server struct {
 	eng     *engine.Engine
 	engName string
 	wire    *server.Server
+	tel     *telemetry.Telemetry
+	dp      *dataplane.Dataplane
 	ready   func() error
 	httpSrv *http.Server
 	start   time.Time
@@ -87,6 +106,8 @@ func New(opts Options) *Server {
 		eng:     opts.Engine,
 		engName: name,
 		wire:    opts.Server,
+		tel:     opts.Telemetry,
+		dp:      opts.Dataplane,
 		ready:   opts.Ready,
 		start:   time.Now(),
 	}
@@ -113,6 +134,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/debug/slow", s.handleSlow)
 	// pprof is wired explicitly instead of importing the package for its
 	// DefaultServeMux side effect: the admin mux is the only place these
 	// handlers exist, so a daemon that does not enable -admin exposes no
@@ -186,6 +208,12 @@ type snapshot struct {
 	retired int
 	// srv is the wire server's counters (nil when no server is attached).
 	srv *server.Stats
+	// hists is the telemetry histogram families (nil when no telemetry is
+	// attached).
+	hists []telemetry.FamilySnapshot
+	// dp is the dataplane's per-core counters (nil when no dataplane is
+	// attached).
+	dp *dataplane.Stats
 	// start is the process-start (admin-construction) time.
 	start time.Time
 }
@@ -193,7 +221,7 @@ type snapshot struct {
 // snapshot collects the current state of every source.
 func (s *Server) snapshot() snapshot {
 	s.mu.Lock()
-	tables, eng, engName, wire := s.tables, s.eng, s.engName, s.wire
+	tables, eng, engName, wire, tel, dp := s.tables, s.eng, s.engName, s.wire, s.tel, s.dp
 	s.mu.Unlock()
 
 	snap := snapshot{retired: -1, start: s.start}
@@ -224,6 +252,11 @@ func (s *Server) snapshot() snapshot {
 	if wire != nil {
 		st := wire.Stats()
 		snap.srv = &st
+	}
+	snap.hists = tel.Families() // nil-safe: nil telemetry yields nil
+	if dp != nil {
+		st := dp.Stats()
+		snap.dp = &st
 	}
 	return snap
 }
@@ -266,6 +299,33 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintln(w, "ready")
+}
+
+// slowDump is the /debug/slow response shape.
+type slowDump struct {
+	// ThresholdNanos is the current capture threshold (negative: recorder
+	// disabled).
+	ThresholdNanos int64 `json:"threshold_nanos"`
+	// Entries are the captured slow lookups, worst-first.
+	Entries []telemetry.SlowEntry `json:"entries"`
+}
+
+// handleSlow dumps the slow-lookup flight recorder as JSON, worst-first.
+// With no telemetry attached it serves an empty dump with threshold -1, so
+// probers need not special-case a daemon running without -slow-threshold.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	tel := s.tel
+	s.mu.Unlock()
+	dump := slowDump{ThresholdNanos: tel.SlowThresholdNanos()}
+	dump.Entries = tel.SlowEntries() // nil-safe
+	if dump.Entries == nil {
+		dump.Entries = []telemetry.SlowEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(dump)
 }
 
 // handleTables serves the JSON table listing, mirroring the v2 protocol's

@@ -13,8 +13,10 @@ import (
 	"testing"
 
 	"neurocuts/internal/classbench"
+	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 func adminTestSet(t testing.TB, size int) *rule.Set {
@@ -363,6 +365,151 @@ func TestAdminListenShutdown(t *testing.T) {
 	// Second Shutdown is a no-op, not a panic.
 	if err := adm.Shutdown(t.Context()); err != nil {
 		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestAdminTelemetryExposition drives a telemetry-instrumented engine and
+// dataplane, then asserts /metrics exposes the native histogram families and
+// the per-core gauges (lint-clean, counts matching the real traffic) and
+// /debug/slow dumps the flight recorder.
+func TestAdminTelemetryExposition(t *testing.T) {
+	set := adminTestSet(t, 200)
+	tel := telemetry.New(telemetry.Config{})
+	tel.SetSlowThreshold(0) // capture everything
+	eng, err := engine.NewEngine("tss", set, engine.Options{
+		Shards:        1,
+		OnlineUpdates: true,
+		Telemetry:     tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	dp, err := dataplane.Attach(eng, dataplane.Config{Cores: 2, CacheEntries: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	trace := classbench.GenerateTrace(set, 256, 31)
+	ps := make([]rule.Packet, len(trace))
+	for i, e := range trace {
+		ps[i] = e.Key
+	}
+	out := make([]engine.Result, len(ps))
+	dp.ClassifyBatch(ps, out)
+	eng.ClassifyBatch(ps, out)
+	for _, p := range ps[:32] {
+		eng.Classify(p)
+	}
+	if _, err := eng.Insert(0, set.Rule(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	adm := New(Options{Engine: eng, Telemetry: tel, Dataplane: dp})
+	ts := httptest.NewServer(adm.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if err := LintMetrics([]byte(body)); err != nil {
+		t.Fatalf("telemetry /metrics fails lint: %v\n%s", err, body)
+	}
+
+	// The histogram families' _count must equal what telemetry recorded.
+	if got := metricValue(t, body, "neurocuts_lookup_latency_seconds_count", `{path="single"}`); got != float64(tel.Lookup.Snapshot().Count()) {
+		t.Errorf("single lookup _count = %v, want %d", got, tel.Lookup.Snapshot().Count())
+	}
+	if got := metricValue(t, body, "neurocuts_lookup_latency_seconds_count", `{path="batch"}`); got == 0 {
+		t.Error("batch lookup _count = 0, want recorded miss-batch spans")
+	}
+	if got := metricValue(t, body, "neurocuts_dataplane_batch_latency_seconds_count", ""); got == 0 {
+		t.Error("dataplane span _count = 0, want recorded spans")
+	}
+	if got := metricValue(t, body, "neurocuts_update_latency_seconds_count", `{op="insert"}`); got != 1 {
+		t.Errorf("insert _count = %v, want 1", got)
+	}
+	if !strings.Contains(body, `neurocuts_lookup_latency_seconds_bucket{path="single",le="+Inf"}`) {
+		t.Error("single lookup family missing its +Inf bucket")
+	}
+	if !strings.Contains(body, "# TYPE neurocuts_server_request_latency_seconds histogram") {
+		t.Error("server request family not declared as a histogram")
+	}
+
+	// Per-core gauges: one sample per core, counters matching dp.Stats().
+	st := dp.Stats()
+	if got := metricValue(t, body, "neurocuts_dataplane_cores", ""); got != float64(st.Cores) {
+		t.Errorf("neurocuts_dataplane_cores = %v, want %d", got, st.Cores)
+	}
+	var packets float64
+	for core := 0; core < st.Cores; core++ {
+		lbl := fmt.Sprintf(`{core="%d"}`, core)
+		packets += metricValue(t, body, "neurocuts_dataplane_packets_total", lbl)
+		metricValue(t, body, "neurocuts_dataplane_ring_high_watermark", lbl)
+		metricValue(t, body, "neurocuts_dataplane_epoch_lag", lbl)
+		metricValue(t, body, "neurocuts_dataplane_cache_hit_ratio", lbl)
+		metricValue(t, body, "neurocuts_dataplane_parks_total", lbl)
+		metricValue(t, body, "neurocuts_dataplane_wakes_total", lbl)
+	}
+	if packets != float64(len(ps)) {
+		t.Errorf("summed per-core packets = %v, want %d", packets, len(ps))
+	}
+
+	// /debug/slow: threshold 0 captured entries; worst-first JSON.
+	code, body = get(t, ts, "/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slow = %d", code)
+	}
+	var dump struct {
+		ThresholdNanos int64 `json:"threshold_nanos"`
+		Entries        []struct {
+			LatencyNanos int64  `json:"latency_nanos"`
+			Table        string `json:"table"`
+			Path         string `json:"path"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/slow is not JSON: %v\n%s", err, body)
+	}
+	if dump.ThresholdNanos != 0 {
+		t.Errorf("threshold_nanos = %d, want 0", dump.ThresholdNanos)
+	}
+	if len(dump.Entries) == 0 {
+		t.Fatal("/debug/slow captured no entries at threshold 0")
+	}
+	for i, e := range dump.Entries {
+		if e.Table != "default" {
+			t.Errorf("entry %d: table = %q, want default", i, e.Table)
+		}
+		if i > 0 && e.LatencyNanos > dump.Entries[i-1].LatencyNanos {
+			t.Errorf("entries not sorted worst-first at %d", i)
+		}
+	}
+}
+
+// TestAdminSlowWithoutTelemetry pins the disabled shape: /debug/slow must
+// answer (threshold -1, empty entries) rather than 404 when the daemon runs
+// without telemetry.
+func TestAdminSlowWithoutTelemetry(t *testing.T) {
+	ts := httptest.NewServer(New(Options{}).Handler())
+	defer ts.Close()
+	code, body := get(t, ts, "/debug/slow")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/slow = %d", code)
+	}
+	var dump struct {
+		ThresholdNanos int64             `json:"threshold_nanos"`
+		Entries        []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatalf("/debug/slow is not JSON: %v\n%s", err, body)
+	}
+	if dump.ThresholdNanos != -1 {
+		t.Errorf("threshold_nanos = %d, want -1 (disabled)", dump.ThresholdNanos)
+	}
+	if dump.Entries == nil || len(dump.Entries) != 0 {
+		t.Errorf("entries = %v, want present-and-empty", dump.Entries)
 	}
 }
 

@@ -14,6 +14,7 @@ package admin
 
 import (
 	"fmt"
+	"math"
 	"regexp"
 	"strconv"
 	"strings"
@@ -46,6 +47,8 @@ func LintMetrics(data []byte) error {
 	seen := map[string]bool{}    // exact (name + label set) duplicates
 	closed := map[string]bool{}  // family -> sample block ended
 	lastFamily := ""
+	hists := map[string]*histSeries{} // histogram series accumulator
+	var histOrder []string            // deterministic end-of-document check order
 
 	for i, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
 		lineNo := i + 1
@@ -93,6 +96,128 @@ func LintMetrics(data []byte) error {
 				return fmt.Errorf("promlint: line %d: value %q is not a float", lineNo, valueStr)
 			}
 		}
+		if typ == "histogram" {
+			if err := lintHistogramSample(lineNo, name, family, labels, valueStr, hists, &histOrder); err != nil {
+				return err
+			}
+		}
+	}
+	for _, key := range histOrder {
+		if err := hists[key].finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histSeries accumulates one histogram series' bucket/sum/count state: the
+// per-line checks (le monotonicity, cumulative bucket counts) happen as the
+// lines stream through LintMetrics, and finish runs the whole-series
+// invariants (mandatory +Inf, _sum present, _count consistent) once the
+// document ends.
+type histSeries struct {
+	family    string
+	labels    string // non-le label set, for messages
+	lastLe    float64
+	lastCum   float64
+	buckets   int
+	hasInf    bool
+	infCum    float64
+	sumSeen   bool
+	countSeen bool
+	countVal  float64
+}
+
+// id renders the series for an error message.
+func (h *histSeries) id() string {
+	if h.labels == "" {
+		return h.family
+	}
+	return h.family + "{" + h.labels + "}"
+}
+
+// finish checks the whole-series histogram invariants after the document is
+// fully parsed.
+func (h *histSeries) finish() error {
+	if !h.hasInf {
+		return fmt.Errorf("promlint: histogram %s has no le=\"+Inf\" bucket", h.id())
+	}
+	if !h.countSeen {
+		return fmt.Errorf("promlint: histogram %s has no _count sample", h.id())
+	}
+	if h.countVal != h.infCum {
+		return fmt.Errorf("promlint: histogram %s _count %g disagrees with its +Inf bucket %g", h.id(), h.countVal, h.infCum)
+	}
+	if !h.sumSeen {
+		return fmt.Errorf("promlint: histogram %s has no _sum sample", h.id())
+	}
+	return nil
+}
+
+// lintHistogramSample checks one sample of a histogram-typed family: every
+// sample must be a _bucket/_sum/_count, buckets must carry an `le` label
+// whose bounds strictly increase (ending in +Inf, which must come last), and
+// bucket values must be cumulative (non-decreasing).
+func lintHistogramSample(lineNo int, name, family string, labels []string, valueStr string, hists map[string]*histSeries, order *[]string) error {
+	suffix := strings.TrimPrefix(name, family)
+	// Split the le label off the series identity: one logical series is the
+	// non-le label set, and its buckets differ only in le.
+	le := ""
+	leFound := false
+	rest := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if strings.HasPrefix(l, "le=") {
+			le = strings.TrimPrefix(l, "le=")
+			leFound = true
+			continue
+		}
+		rest = append(rest, l)
+	}
+	key := family + "|" + strings.Join(rest, "|")
+	h := hists[key]
+	if h == nil {
+		h = &histSeries{family: family, labels: strings.Join(rest, ",")}
+		hists[key] = h
+		*order = append(*order, key)
+	}
+	v, verr := strconv.ParseFloat(valueStr, 64)
+	switch suffix {
+	case "_bucket":
+		if !leFound {
+			return fmt.Errorf("promlint: line %d: histogram bucket %s has no le label", lineNo, name)
+		}
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("promlint: line %d: histogram %s le %q is not a float", lineNo, h.id(), le)
+		}
+		if verr != nil {
+			return fmt.Errorf("promlint: line %d: histogram bucket value %q is not a float", lineNo, valueStr)
+		}
+		if h.hasInf {
+			return fmt.Errorf("promlint: line %d: histogram %s has a bucket after le=\"+Inf\"", lineNo, h.id())
+		}
+		if h.buckets > 0 && bound <= h.lastLe {
+			return fmt.Errorf("promlint: line %d: histogram %s le bounds not strictly increasing (%g after %g)", lineNo, h.id(), bound, h.lastLe)
+		}
+		if h.buckets > 0 && v < h.lastCum {
+			return fmt.Errorf("promlint: line %d: histogram %s bucket counts not cumulative (%g after %g)", lineNo, h.id(), v, h.lastCum)
+		}
+		h.lastLe, h.lastCum = bound, v
+		h.buckets++
+		if math.IsInf(bound, 1) {
+			h.hasInf = true
+			h.infCum = v
+		}
+	case "_sum":
+		h.sumSeen = true
+	case "_count":
+		if verr != nil {
+			return fmt.Errorf("promlint: line %d: histogram _count value %q is not a float", lineNo, valueStr)
+		}
+		h.countSeen = true
+		h.countVal = v
+	default:
+		return fmt.Errorf("promlint: line %d: histogram family %q sample %q must be _bucket, _sum or _count", lineNo, family, name)
 	}
 	return nil
 }

@@ -20,9 +20,27 @@ demo_latency_seconds_sum 0.8
 demo_latency_seconds_count 9
 `
 
+// cleanLabelledHist is a histogram family with two labelled series — the
+// per-series histogram checks must track each (non-le) label set
+// independently, so the second series restarting at a low le is fine.
+const cleanLabelledHist = `# HELP h_seconds H.
+# TYPE h_seconds histogram
+h_seconds_bucket{path="single",le="0.1"} 4
+h_seconds_bucket{path="single",le="+Inf"} 9
+h_seconds_sum{path="single"} 0.8
+h_seconds_count{path="single"} 9
+h_seconds_bucket{path="batch",le="0.01"} 0
+h_seconds_bucket{path="batch",le="+Inf"} 2
+h_seconds_sum{path="batch"} 0.1
+h_seconds_count{path="batch"} 2
+`
+
 func TestLintMetricsClean(t *testing.T) {
 	if err := LintMetrics([]byte(cleanDoc)); err != nil {
 		t.Fatalf("clean document rejected: %v", err)
+	}
+	if err := LintMetrics([]byte(cleanLabelledHist)); err != nil {
+		t.Fatalf("labelled histogram rejected: %v", err)
 	}
 	escaped := "# HELP esc_gauge Escapes.\n# TYPE esc_gauge gauge\n" +
 		`esc_gauge{err="path \"x\" broke \\ twice\nline two"} 1` + "\n"
@@ -76,6 +94,55 @@ func TestLintMetricsViolations(t *testing.T) {
 		{"bad-value", "# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge one\n", "not a float"},
 		{"no-value", "# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge\n", "no value"},
 		{"blank-line", "# HELP a_gauge A.\n# TYPE a_gauge gauge\na_gauge 1\n\n", "empty line"},
+		{"hist-le-not-increasing",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.2\"} 1\nh_seconds_bucket{le=\"0.1\"} 2\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_sum 0.5\nh_seconds_count 3\n",
+			"not strictly increasing"},
+		{"hist-le-duplicate",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_bucket{le=\"0.10\"} 2\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_sum 0.5\nh_seconds_count 3\n",
+			"not strictly increasing"},
+		{"hist-missing-inf",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_bucket{le=\"0.2\"} 2\n" +
+				"h_seconds_sum 0.5\nh_seconds_count 2\n",
+			"no le=\"+Inf\" bucket"},
+		{"hist-not-cumulative",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 5\nh_seconds_bucket{le=\"+Inf\"} 3\n" +
+				"h_seconds_sum 0.5\nh_seconds_count 3\n",
+			"not cumulative"},
+		{"hist-bucket-after-inf",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_bucket{le=\"9\"} 3\n" +
+				"h_seconds_sum 0.5\nh_seconds_count 3\n",
+			"bucket after le=\"+Inf\""},
+		{"hist-count-mismatch",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_bucket{le=\"+Inf\"} 3\n" +
+				"h_seconds_sum 0.5\nh_seconds_count 4\n",
+			"_count 4 disagrees with its +Inf bucket 3"},
+		{"hist-missing-count",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_sum 0.5\n",
+			"no _count sample"},
+		{"hist-missing-sum",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"0.1\"} 1\nh_seconds_bucket{le=\"+Inf\"} 3\nh_seconds_count 3\n",
+			"no _sum sample"},
+		{"hist-bucket-without-le",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{path=\"x\"} 1\n",
+			"no le label"},
+		{"hist-bad-le",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\n" +
+				"h_seconds_bucket{le=\"soon\"} 1\n",
+			"not a float"},
+		{"hist-bare-sample",
+			"# HELP h_seconds H.\n# TYPE h_seconds histogram\nh_seconds 1\n",
+			"must be _bucket, _sum or _count"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -41,6 +41,7 @@ import (
 
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 // Config parameterises Attach.
@@ -107,11 +108,28 @@ type loop struct {
 	missOut []engine.Result
 	missPos []int32
 
+	// Telemetry wiring, fixed at Attach (nil tel disables all recording).
+	// core doubles as the loop's histogram stripe; tableID/backendID are
+	// interned flight-recorder labels, backendID refreshed on epoch reloads
+	// (an artifact load can change the serving backend). Only the loop
+	// goroutine touches backendID after Attach.
+	core      int
+	tel       *telemetry.Telemetry
+	tableID   uint32
+	backendID uint32
+
 	batches atomic.Uint64
 	packets atomic.Uint64
 	epochs  atomic.Uint64
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	// parks/wakes are bumped only at park/unpark transitions, never on the
+	// pop-and-handle hot path; viewVer mirrors the pinned View's generation
+	// (written on epoch reloads) so Stats can report epoch lag without
+	// touching the loop's View.
+	parks   atomic.Uint64
+	wakes   atomic.Uint64
+	viewVer atomic.Uint64
 }
 
 // completion is a batch's completion vector: a count of outstanding core
@@ -212,13 +230,20 @@ func Attach(eng *engine.Engine, cfg Config) (*Dataplane, error) {
 	}
 
 	view := eng.CurrentView()
+	tel := eng.Telemetry()
+	tableID, backendID := eng.TelemetrySlowIDs()
 	d.loops = make([]*loop, cores)
 	for i := range d.loops {
 		d.loops[i] = &loop{
-			ring:  newRing(ringSize),
-			cache: newCoreCache(perCoreCache),
-			view:  view,
+			ring:      newRing(ringSize),
+			cache:     newCoreCache(perCoreCache),
+			view:      view,
+			core:      i,
+			tel:       tel,
+			tableID:   tableID,
+			backendID: backendID,
 		}
+		d.loops[i].viewVer.Store(view.Version())
 	}
 
 	// Order matters here: the publish hook must be live before the loops
@@ -424,16 +449,20 @@ func (d *Dataplane) run(lp *loop) {
 		// Park. Arm the sleeping flag, then re-check the ring: a producer
 		// that pushed between our last pop and the arm saw sleeping==false
 		// and sent no token, so the re-check is what closes that window
-		// (both sides are sequentially consistent atomics).
+		// (both sides are sequentially consistent atomics). The park/wake
+		// counters live on this transition path only — the pop-and-handle
+		// hot path above never touches them.
 		lp.ring.sleeping.Store(true)
 		if !lp.ring.empty() {
 			lp.ring.sleeping.Store(false)
 			spins = 0
 			continue
 		}
+		lp.parks.Add(1)
 		select {
 		case <-lp.ring.wake:
 			lp.ring.sleeping.Store(false)
+			lp.wakes.Add(1)
 			spins = 0
 		case <-d.stop:
 			lp.ring.sleeping.Store(false)
@@ -460,7 +489,17 @@ func (d *Dataplane) handle(lp *loop, it *item) {
 	case itemEpoch:
 		lp.view = d.eng.CurrentView()
 		lp.epochs.Add(1)
+		lp.viewVer.Store(lp.view.Version())
+		if lp.tel != nil {
+			// Epoch reloads are rare; refreshing the interned backend ID here
+			// keeps flight-recorder attribution correct across artifact loads.
+			_, lp.backendID = d.eng.TelemetrySlowIDs()
+		}
 	case itemBatch:
+		var start time.Time
+		if lp.tel != nil {
+			start = time.Now()
+		}
 		v := lp.view
 		ver := v.Version()
 		n := len(it.ps)
@@ -509,6 +548,26 @@ func (d *Dataplane) handle(lp *loop, it *item) {
 		}
 		lp.packets.Add(uint64(len(it.ps)))
 		lp.batches.Add(1)
+		if lp.tel != nil {
+			// Record from locals only — never from *it — so the completion
+			// decrement below stays the loop's final touch of the batch.
+			ns := time.Since(start).Nanoseconds()
+			lp.tel.DataplaneBatch.RecordNanos(uint64(lp.core), ns)
+			if nn := int64(n); nn > 0 && lp.tel.SlowEnough(ns/nn) {
+				lp.tel.Slow.Record(telemetry.Sample{
+					UnixNanos:    start.UnixNano(),
+					LatencyNanos: ns,
+					TableID:      lp.tableID,
+					BackendID:    lp.backendID,
+					PathID:       telemetry.PathDataplane,
+					Packets:      int32(n),
+					Visits:       int32(v.Metrics().LookupCost),
+					RuleID:       -1,
+					Version:      ver,
+					CacheHit:     lp.cache != nil && miss == 0,
+				})
+			}
+		}
 		// The decrement must be the loop's final touch of the batch: the
 		// submitter's wait returns the scratch (which embeds the completion
 		// and backs it.ps/it.idx) to the pool the moment it observes zero.
@@ -566,6 +625,21 @@ type CoreStats struct {
 	CacheHits   uint64
 	CacheMisses uint64
 	RingLen     int // queued items at sample time (racy snapshot)
+	// RingHighWatermark is the deepest ring occupancy the loop has observed
+	// at pop time — the per-core backpressure gauge.
+	RingHighWatermark int
+	// Parks and Wakes count the loop's park transitions and wake-token
+	// wakeups (bumped only when the loop goes idle or is roused, never on
+	// the pop-and-handle hot path).
+	Parks uint64
+	Wakes uint64
+	// EpochLag is how many snapshot generations the loop's pinned View
+	// trails the engine head at sample time (0 when caught up; transiently
+	// nonzero while an epoch message is still queued in the ring).
+	EpochLag uint64
+	// HitRatio is the per-core flow cache hit ratio in [0, 1] (0 with no
+	// cache or no traffic).
+	HitRatio float64
 }
 
 // Stats is a point-in-time view of the dataplane's counters.
@@ -586,15 +660,25 @@ func (d *Dataplane) Stats() Stats {
 		RingCapacity: d.loops[0].ring.capacity(),
 		PerCore:      make([]CoreStats, d.cores),
 	}
+	engVer := d.eng.Version()
 	for i, lp := range d.loops {
 		cs := CoreStats{
-			Core:        i,
-			Batches:     lp.batches.Load(),
-			Packets:     lp.packets.Load(),
-			Epochs:      lp.epochs.Load(),
-			CacheHits:   lp.hits.Load(),
-			CacheMisses: lp.misses.Load(),
-			RingLen:     lp.ring.len(),
+			Core:              i,
+			Batches:           lp.batches.Load(),
+			Packets:           lp.packets.Load(),
+			Epochs:            lp.epochs.Load(),
+			CacheHits:         lp.hits.Load(),
+			CacheMisses:       lp.misses.Load(),
+			RingLen:           lp.ring.len(),
+			RingHighWatermark: lp.ring.highWatermark(),
+			Parks:             lp.parks.Load(),
+			Wakes:             lp.wakes.Load(),
+		}
+		if ver := lp.viewVer.Load(); engVer > ver {
+			cs.EpochLag = engVer - ver
+		}
+		if total := cs.CacheHits + cs.CacheMisses; total > 0 {
+			cs.HitRatio = float64(cs.CacheHits) / float64(total)
 		}
 		s.PerCore[i] = cs
 		s.Batches += cs.Batches

@@ -6,10 +6,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 // testSet builds a deterministic ClassBench rule set.
@@ -162,6 +164,130 @@ func TestZeroAllocHotPath(t *testing.T) {
 		i++
 	}); allocs != 0 {
 		t.Errorf("Classify allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocHotPathTelemetry re-pins the steady-state submit path with
+// full telemetry enabled — per-span histogram samples on every core loop
+// and the flight recorder capturing every span (threshold 0). Same race
+// exclusion as TestZeroAllocHotPath (the scratch pool is sync.Pool).
+func TestZeroAllocHotPathTelemetry(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool intentionally drops Puts under -race; alloc gate runs in the non-race CI pass")
+	}
+	set := testSet(t, 128, 1)
+	tel := telemetry.New(telemetry.Config{})
+	tel.SetSlowThreshold(0)
+	eng, err := engine.NewEngine("tss", set, engine.Options{Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	dp, err := Attach(eng, Config{Cores: 2, CacheEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := testPackets(set, 256, 7)
+	out := make([]engine.Result, len(ps))
+	dp.ClassifyBatch(ps, out) // warm the scratch pool
+
+	if allocs := testing.AllocsPerRun(100, func() {
+		dp.ClassifyBatch(ps, out)
+	}); allocs != 0 {
+		t.Errorf("telemetry-enabled ClassifyBatch allocates %.1f allocs/op, want 0", allocs)
+	}
+	i := 0
+	if allocs := testing.AllocsPerRun(200, func() {
+		dp.Classify(ps[i%len(ps)])
+		i++
+	}); allocs != 0 {
+		t.Errorf("telemetry-enabled Classify allocates %.1f allocs/op, want 0", allocs)
+	}
+	if tel.DataplaneBatch.Snapshot().Count() == 0 {
+		t.Error("telemetry recorded no dataplane span samples")
+	}
+	if tel.Slow.Captured() == 0 {
+		t.Error("flight recorder captured nothing at threshold 0")
+	}
+}
+
+// TestStatsSurfacesParkWakeRing drives the dataplane through an
+// idle-park-wake cycle and asserts the new per-core gauges surface through
+// Stats(): park/wake transition counts, the ring-occupancy high watermark,
+// the flow-cache hit ratio, and (once the rings drain) zero epoch lag.
+func TestStatsSurfacesParkWakeRing(t *testing.T) {
+	set := testSet(t, 128, 1)
+	eng, err := engine.NewEngine("tss", set, engine.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	dp, err := Attach(eng, Config{Cores: 2, CacheEntries: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := testPackets(set, 512, 7)
+	out := make([]engine.Result, len(ps))
+	dp.ClassifyBatch(ps, out)
+
+	// The loops drain their rings and, after the spin budget, park. Wait
+	// for every core to record at least one park transition.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		parked := 0
+		for _, cs := range dp.Stats().PerCore {
+			if cs.Parks > 0 {
+				parked++
+			}
+		}
+		if parked == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loops never parked: %+v", dp.Stats().PerCore)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Submitting into a parked loop forces the wake-token path. Repeats of
+	// the same trace also exercise the per-core flow caches.
+	dp.ClassifyBatch(ps, out)
+	dp.ClassifyBatch(ps, out)
+
+	var woke, hw int
+	for _, cs := range dp.Stats().PerCore {
+		if cs.Wakes > 0 {
+			woke++
+		}
+		if cs.RingHighWatermark > hw {
+			hw = cs.RingHighWatermark
+		}
+		if cs.CacheHits+cs.CacheMisses > 0 && (cs.HitRatio < 0 || cs.HitRatio > 1) {
+			t.Errorf("core %d: hit ratio %v out of [0,1]", cs.Core, cs.HitRatio)
+		}
+	}
+	if woke == 0 {
+		t.Errorf("no core recorded a wake after submitting into parked loops: %+v", dp.Stats().PerCore)
+	}
+	if hw < 1 {
+		t.Errorf("ring high watermark never reached 1: %+v", dp.Stats().PerCore)
+	}
+
+	// With no traffic in flight and no pending updates the pinned views
+	// must converge to the engine head.
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		lag := uint64(0)
+		for _, cs := range dp.Stats().PerCore {
+			lag += cs.EpochLag
+		}
+		if lag == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch lag never drained: %+v", dp.Stats().PerCore)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

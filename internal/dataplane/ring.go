@@ -71,6 +71,14 @@ type ring struct {
 	// hot path) and posts a wake token only when the consumer armed it.
 	sleeping atomic.Bool
 	wake     chan struct{}
+
+	// Occupancy high watermark, observed by the consumer at pop time from
+	// cursors it already loaded. hw is the consumer-owned running max (plain
+	// int, no synchronisation); hwShared publishes it for Stats and is
+	// stored only when the max grows, so the steady-state pop path performs
+	// no additional atomic operations.
+	hw       int
+	hwShared atomic.Int64
 }
 
 // defaultRingSize is each core's ring capacity in items. A batch occupies
@@ -140,14 +148,22 @@ func (r *ring) wakeConsumer() {
 // full lap of the cursor.
 func (r *ring) pop(it *item) bool {
 	h := r.head.Load()
-	if h == r.tail.Load() {
+	t := r.tail.Load()
+	if h == t {
 		return false
+	}
+	if occ := int(t - h); occ > r.hw {
+		r.hw = occ
+		r.hwShared.Store(int64(occ))
 	}
 	*it = r.buf[h&r.mask]
 	r.buf[h&r.mask] = item{}
 	r.head.Store(h + 1)
 	return true
 }
+
+// highWatermark returns the deepest occupancy the consumer has observed.
+func (r *ring) highWatermark() int { return int(r.hwShared.Load()) }
 
 // empty reports whether the ring has no queued items (racy, like len).
 func (r *ring) empty() bool { return r.head.Load() == r.tail.Load() }

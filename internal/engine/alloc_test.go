@@ -5,6 +5,7 @@ import (
 
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 // allocTestSet builds a small deterministic classifier for the allocation
@@ -127,6 +128,114 @@ func TestZeroAllocBatchSharded(t *testing.T) {
 		if allocs != 0 {
 			t.Errorf("%s: sharded ClassifyBatch allocates %.1f allocs/batch, want 0", backend, allocs)
 		}
+	}
+}
+
+// allocTestTelemetry builds a telemetry instance in its most expensive
+// configuration for the pins below: flight recorder at threshold 0, so
+// every single lookup and every batch span records a histogram sample AND
+// a flight-recorder entry.
+func allocTestTelemetry() *telemetry.Telemetry {
+	tel := telemetry.New(telemetry.Config{})
+	tel.SetSlowThreshold(0)
+	return tel
+}
+
+// TestZeroAllocTelemetrySingle pins the single-packet path with full
+// telemetry enabled (histogram sample + flight-recorder capture per
+// lookup, flow cache on so both the hit and miss+fill branches record).
+func TestZeroAllocTelemetrySingle(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 64)
+	for _, backend := range zeroAllocBackends {
+		tel := allocTestTelemetry()
+		eng, err := NewEngine(backend, set, Options{Shards: 1, FlowCacheEntries: 1024, Telemetry: tel})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		i := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			p := ps[i%len(ps)]
+			i++
+			eng.Classify(p)
+		})
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: telemetry-enabled Classify allocates %.1f allocs/op, want 0", backend, allocs)
+		}
+		if tel.Lookup.Snapshot().Count() == 0 {
+			t.Errorf("%s: telemetry recorded no single-lookup samples", backend)
+		}
+		if tel.Slow.Captured() == 0 {
+			t.Errorf("%s: flight recorder captured nothing at threshold 0", backend)
+		}
+	}
+}
+
+// TestZeroAllocTelemetryBatch pins the inline and sharded batch paths with
+// full telemetry enabled (per-span histogram sample + flight-recorder
+// capture).
+func TestZeroAllocTelemetryBatch(t *testing.T) {
+	set := allocTestSet(t, 128)
+	small := allocTestPackets(set, 64) // below 2*minShardBatch: inline path
+	big := allocTestPackets(set, 1024) // fan-out path
+	outSmall := make([]Result, len(small))
+	outBig := make([]Result, len(big))
+	for _, backend := range zeroAllocBackends {
+		tel := allocTestTelemetry()
+		eng, err := NewEngine(backend, set, Options{Shards: 4, Telemetry: tel})
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		eng.ClassifyBatch(big, outBig) // warm up: start workers outside measurement
+		allocs := testing.AllocsPerRun(100, func() {
+			eng.ClassifyBatch(small, outSmall)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: telemetry-enabled inline ClassifyBatch allocates %.1f allocs/batch, want 0", backend, allocs)
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			eng.ClassifyBatch(big, outBig)
+		})
+		eng.Close()
+		if allocs != 0 {
+			t.Errorf("%s: telemetry-enabled sharded ClassifyBatch allocates %.1f allocs/batch, want 0", backend, allocs)
+		}
+		if tel.LookupBatch.Snapshot().Count() == 0 {
+			t.Errorf("%s: telemetry recorded no batch-span samples", backend)
+		}
+	}
+}
+
+// TestZeroAllocTelemetryOverlayUpdates pins the telemetry-enabled overlay
+// serving path: with online updates pending (overlay + tombstones live),
+// single lookups through the merged view must still record without
+// allocating — including the flight recorder's overlay-winner attribution.
+func TestZeroAllocTelemetryOverlayUpdates(t *testing.T) {
+	set := allocTestSet(t, 128)
+	ps := allocTestPackets(set, 64)
+	tel := allocTestTelemetry()
+	eng, err := NewEngine("hicuts", set, Options{Shards: 1, OnlineUpdates: true, CompactThreshold: -1, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	r := set.Rules()[0]
+	r.ID = 0
+	if _, err := eng.Insert(0, r); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		p := ps[i%len(ps)]
+		i++
+		eng.Classify(p)
+	})
+	if allocs != 0 {
+		t.Errorf("overlay-serving telemetry-enabled Classify allocates %.1f allocs/op, want 0", allocs)
+	}
+	if tel.UpdateInsert.Snapshot().Count() == 0 {
+		t.Error("telemetry recorded no insert-apply samples")
 	}
 }
 

@@ -55,6 +55,7 @@ func NewEngineFromArtifact(path string, opts Options) (*Engine, error) {
 	if err := e.initUpdater(); err != nil {
 		return nil, err
 	}
+	e.initTelemetry()
 	return e, nil
 }
 

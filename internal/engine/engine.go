@@ -28,8 +28,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 	"neurocuts/internal/updater"
 )
 
@@ -171,6 +173,14 @@ type Engine struct {
 	updates        atomic.Uint64
 	updateFailures atomic.Uint64
 
+	// tel is the optional shared telemetry instance (nil: disabled).
+	// telTableID is the interned flight-recorder table label; telBackendID
+	// follows the serving snapshot's backend (LoadArtifact can change it)
+	// and is refreshed on every publish.
+	tel          *telemetry.Telemetry
+	telTableID   uint32
+	telBackendID atomic.Uint32
+
 	// publishHook, when set, runs after every post-construction snapshot
 	// publish (insert, delete, overlay apply, compaction, artifact load)
 	// with the published version. The run-to-completion dataplane
@@ -217,6 +227,12 @@ func (e *Engine) AddCloser(fn func()) {
 // (the dataplane) observe every generation exactly once.
 func (e *Engine) publishSnap(ns *snapshot) {
 	e.snap.Store(ns)
+	if e.tel != nil {
+		// Publishing is the cold path, so re-interning the backend name
+		// (a mutexed map probe) is fine; it keeps the flight recorder's
+		// backend attribution correct across artifact loads.
+		e.telBackendID.Store(e.tel.Intern(ns.backend))
+	}
 	if fn := e.publishHook.Load(); fn != nil {
 		(*fn)(ns.version)
 	}
@@ -242,6 +258,11 @@ func (v View) Version() uint64 { return v.s.version }
 // Backend returns the registry name of the backend serving the pinned
 // snapshot.
 func (v View) Backend() string { return v.s.backend }
+
+// Metrics reports the pinned snapshot's backend cost metrics
+// (allocation-free; backends serve it from a cached value or a stack
+// struct).
+func (v View) Metrics() Metrics { return v.s.cls.Metrics() }
 
 // Classify looks one packet up in the pinned snapshot. It bypasses the
 // engine's shared flow cache: dataplane loops keep their own per-core
@@ -347,6 +368,7 @@ func NewEngine(name string, set *rule.Set, opts Options) (*Engine, error) {
 	if err := e.initUpdater(); err != nil {
 		return nil, err
 	}
+	e.initTelemetry()
 	return e, nil
 }
 
@@ -367,7 +389,11 @@ func (e *Engine) Rules() *rule.Set { return e.snap.Load().set }
 // allocations for allocation-free backends (linear, tss).
 func (e *Engine) Classify(p rule.Packet) (rule.Rule, bool) {
 	e.lookups.Add(1)
-	return e.classifyOne(e.snap.Load(), p)
+	s := e.snap.Load()
+	if e.tel == nil {
+		return e.classifyOne(s, p)
+	}
+	return e.classifyOneTimed(s, p)
 }
 
 // classifyOne is the cache-aware single-packet path against a pinned
@@ -467,7 +493,7 @@ func (e *Engine) ClassifyBatch(ps []rule.Packet, out []Result) {
 	e.batches.Add(1)
 	e.batchPackets.Add(uint64(n))
 	if e.shards <= 1 || n < 2*minShardBatch {
-		e.classifyChunk(snap, ps, out)
+		e.classifyChunkTimed(snap, ps, out)
 		return
 	}
 	if !e.workersUp.Load() {
@@ -475,7 +501,7 @@ func (e *Engine) ClassifyBatch(ps []rule.Packet, out []Result) {
 		if !e.workersUp.Load() {
 			// The engine was closed before its first large batch; degrade
 			// to the inline path instead of touching the dead worker pool.
-			e.classifyChunk(snap, ps, out)
+			e.classifyChunkTimed(snap, ps, out)
 			return
 		}
 	}
@@ -506,7 +532,7 @@ func (e *Engine) startWorkers() {
 		for i := 0; i < e.shards; i++ {
 			go func() {
 				for t := range e.work {
-					e.classifyChunk(t.snap, t.ps, t.out)
+					e.classifyChunkTimed(t.snap, t.ps, t.out)
 					t.wg.Done()
 				}
 			}()
@@ -568,7 +594,14 @@ var ErrRuleNotFound = errors.New("rule not found")
 // lands in the delta overlay (no backend rebuild); otherwise the backend is
 // rebuilt off-line.
 func (e *Engine) Insert(pos int, r rule.Rule) (UpdateResult, error) {
+	if e.tel == nil {
+		res, err := e.doInsert(pos, r)
+		e.countUpdate(err)
+		return res, err
+	}
+	t0 := time.Now()
 	res, err := e.doInsert(pos, r)
+	e.tel.UpdateInsert.RecordNanos(0, time.Since(t0).Nanoseconds())
 	e.countUpdate(err)
 	return res, err
 }
@@ -627,7 +660,14 @@ func (e *Engine) doInsert(pos int, r rule.Rule) (UpdateResult, error) {
 // online-update subsystem enabled the delete becomes a tombstone (no
 // backend rebuild); otherwise the backend is rebuilt off-line.
 func (e *Engine) Delete(id int) (UpdateResult, error) {
+	if e.tel == nil {
+		res, err := e.doDelete(id)
+		e.countUpdate(err)
+		return res, err
+	}
+	t0 := time.Now()
 	res, err := e.doDelete(id)
+	e.tel.UpdateDelete.RecordNanos(0, time.Since(t0).Nanoseconds())
 	e.countUpdate(err)
 	return res, err
 }

@@ -377,6 +377,9 @@ func (e *Engine) compactOnce() {
 	e.publishSnap(ns)
 	e.compactions.Add(1)
 	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())
+	if e.tel != nil {
+		e.tel.Compaction.RecordNanos(0, time.Since(t0).Nanoseconds())
+	}
 	e.lastCompactErr.Store(nil)
 	// Restart the age clock: the updates a rebase carries forward arrived
 	// during this rebuild, so their age budget starts now. Keeping the
@@ -417,6 +420,9 @@ func (e *Engine) compactLocked() error {
 		version: cur.version + 1, backend: cur.backend, build: cur.build, base: base})
 	e.compactions.Add(1)
 	e.lastCompactNanos.Store(time.Since(t0).Nanoseconds())
+	if e.tel != nil {
+		e.tel.Compaction.RecordNanos(0, time.Since(t0).Nanoseconds())
+	}
 	e.overlayDirty.Store(0)
 	return nil
 }

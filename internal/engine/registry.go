@@ -10,6 +10,7 @@ import (
 	"neurocuts/internal/tree"
 
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 // Options carries the build parameters shared across backends. The zero
@@ -77,6 +78,16 @@ type Options struct {
 	// tombstones) that triggers background compaction. 0 selects
 	// DefaultCompactThreshold; negative disables background compaction.
 	CompactThreshold int
+	// Telemetry, when non-nil, records every serving and update path into
+	// the shared online-telemetry instance (internal/telemetry): latency
+	// histograms on single/batch lookups and Insert/Delete/compaction, and
+	// the slow-lookup flight recorder when its threshold is enabled. One
+	// instance is typically shared by every engine (and the dataplane and
+	// TCP server) of a process so one scrape covers it all.
+	Telemetry *telemetry.Telemetry
+	// TelemetryTable is the table label flight-recorder entries carry
+	// ("default" when empty). Multi-table daemons set it per engine.
+	TelemetryTable string
 	// CompactMaxAge, when positive, compacts a non-empty overlay older than
 	// this even below the size threshold, bounding how stale the delta can
 	// get on a quiet ruleset. Note that compaction folds the in-memory

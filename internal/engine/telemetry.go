@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"time"
+
+	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
+)
+
+// This file wires the online telemetry core (internal/telemetry) into the
+// engine's serving and update paths. All recording is gated on e.tel being
+// non-nil, costs one atomic add per histogram sample, and allocates
+// nothing — the alloc_test.go pins cover every path below with recording
+// (and the flight recorder at threshold 0) enabled.
+
+// initTelemetry captures the engine's telemetry wiring from Options. Called
+// once from NewEngine / NewEngineFromArtifact after the first snapshot is
+// stored, before the engine is visible to any other goroutine.
+func (e *Engine) initTelemetry() {
+	e.tel = e.opts.Telemetry
+	if e.tel == nil {
+		return
+	}
+	table := e.opts.TelemetryTable
+	if table == "" {
+		table = "default"
+	}
+	e.telTableID = e.tel.Intern(table)
+	e.telBackendID.Store(e.tel.Intern(e.snap.Load().backend))
+}
+
+// Telemetry returns the engine's telemetry instance (nil when disabled).
+// Subsystems serving this engine's snapshots (the dataplane, the TCP
+// server) share it so one scrape covers the whole process.
+func (e *Engine) Telemetry() *telemetry.Telemetry { return e.tel }
+
+// TelemetrySlowIDs returns the interned (table, backend) flight-recorder
+// IDs for entries attributed to this engine. The backend ID follows the
+// serving snapshot (LoadArtifact can change it), so per-core consumers
+// refresh on epoch reloads.
+func (e *Engine) TelemetrySlowIDs() (table, backend uint32) {
+	return e.telTableID, e.telBackendID.Load()
+}
+
+// classifyOneTimed is classifyOne plus telemetry: per-packet latency into
+// the single-lookup histogram, and a flight-recorder capture when the
+// sample crosses the slow threshold. Only called when e.tel != nil.
+func (e *Engine) classifyOneTimed(s *snapshot, p rule.Packet) (rule.Rule, bool) {
+	start := time.Now()
+	var (
+		r   rule.Rule
+		ok  bool
+		hit bool
+	)
+	if e.cache != nil {
+		r, ok, hit = e.cache.get(p, s.version)
+	}
+	if !hit {
+		r, ok = s.cls.Classify(p)
+		if e.cache != nil {
+			e.cache.put(p, s.version, r, ok)
+		}
+	}
+	ns := time.Since(start).Nanoseconds()
+	// The sample's own low bits spread concurrent callers across stripes
+	// without any goroutine identity.
+	e.tel.Lookup.RecordNanos(uint64(ns), ns)
+	if e.tel.SlowEnough(ns) {
+		e.recordSlow(s, start, ns, telemetry.PathSingle, 1, hit, r, ok)
+	}
+	return r, ok
+}
+
+// classifyChunkTimed is classifyChunk plus telemetry: one per-span sample
+// into the batch histogram (the span is the serving unit — per-packet
+// timing inside a batch would put a clock read on every packet), and a
+// flight-recorder capture when the span's per-packet average crosses the
+// slow threshold.
+func (e *Engine) classifyChunkTimed(s *snapshot, ps []rule.Packet, out []Result) {
+	if e.tel == nil {
+		e.classifyChunk(s, ps, out)
+		return
+	}
+	start := time.Now()
+	e.classifyChunk(s, ps, out)
+	ns := time.Since(start).Nanoseconds()
+	e.tel.LookupBatch.RecordNanos(uint64(ns), ns)
+	if n := int64(len(ps)); n > 0 && e.tel.SlowEnough(ns/n) {
+		e.recordSlow(s, start, ns, telemetry.PathBatch, int32(len(ps)), false, rule.Rule{}, false)
+	}
+}
+
+// recordSlow captures one flight-recorder entry for a lookup (or span)
+// served from snapshot s. For single lookups r/ok carry the winner; span
+// entries pass ok=false (a span has no single winning rule).
+func (e *Engine) recordSlow(s *snapshot, start time.Time, ns int64, path uint32, packets int32, cacheHit bool, r rule.Rule, ok bool) {
+	overlay := false
+	if oc, isOverlay := s.cls.(*overlayClassifier); isOverlay && ok {
+		overlay = oc.view.FromOverlay(r.ID)
+	}
+	ruleID := int32(-1)
+	if ok {
+		ruleID = int32(r.ID)
+	}
+	e.tel.Slow.Record(telemetry.Sample{
+		UnixNanos:     start.UnixNano(),
+		LatencyNanos:  ns,
+		TableID:       e.telTableID,
+		BackendID:     e.telBackendID.Load(),
+		PathID:        path,
+		Packets:       packets,
+		Visits:        int32(s.cls.Metrics().LookupCost),
+		RuleID:        ruleID,
+		Version:       s.version,
+		CacheHit:      cacheHit,
+		OverlayWinner: overlay,
+		Matched:       ok,
+	})
+}

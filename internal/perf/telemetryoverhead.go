@@ -1,0 +1,200 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
+)
+
+// TelemetryOverhead is the outcome of the checktelemetry perf cell: the same
+// Zipf-skewed batch workload classified through two otherwise-identical
+// engines, one with telemetry off and one with the full online-telemetry
+// stack armed at its most expensive setting (latency histograms recording
+// every span plus the flight recorder capturing every lookup at threshold 0).
+// The gated quantities are the relative batch-p50 cost of instrumentation and
+// the steady-state allocation delta, which must be zero: telemetry that
+// allocates on the hot path would defeat the zero-alloc serving contract.
+type TelemetryOverhead struct {
+	Family  string `json:"family"`
+	Size    int    `json:"size"`
+	Backend string `json:"backend"`
+	// Batches and BatchSize describe the measured workload: Batches windows
+	// of BatchSize packets per pass.
+	Batches   int `json:"batches"`
+	BatchSize int `json:"batch_size"`
+	// Per-batch latency percentiles, nanoseconds, from the best pass of each
+	// configuration.
+	OffP50Nanos float64 `json:"off_p50_nanos"`
+	OffP99Nanos float64 `json:"off_p99_nanos"`
+	OnP50Nanos  float64 `json:"on_p50_nanos"`
+	OnP99Nanos  float64 `json:"on_p99_nanos"`
+	// Steady-state mallocs per batch (minimum across measured passes, so a
+	// one-off warmup allocation does not count against the gate).
+	OffAllocsPerBatch float64 `json:"off_allocs_per_batch"`
+	OnAllocsPerBatch  float64 `json:"on_allocs_per_batch"`
+	// OverheadPct is (OnP50 - OffP50) / OffP50 * 100: the median latency tax
+	// of full instrumentation. Negative values are measurement noise.
+	OverheadPct float64 `json:"overhead_pct"`
+	// AllocsDelta is OnAllocsPerBatch - OffAllocsPerBatch.
+	AllocsDelta float64 `json:"allocs_delta"`
+	// HistogramSamples and SlowCaptured confirm the instrumented run really
+	// recorded: a zero here means the cell measured an unarmed engine and the
+	// overhead number is meaningless.
+	HistogramSamples uint64 `json:"histogram_samples"`
+	SlowCaptured     uint64 `json:"slow_captured"`
+}
+
+// MeasureTelemetryOverhead builds the same backend twice over one generated
+// rule set — telemetry off and telemetry fully armed (slow threshold 0, so
+// the flight recorder fires on every lookup) — and drives the identical
+// Zipf-skewed trace through ClassifyBatch on both, measuring per-batch
+// latency (best of `runs` passes per configuration, after one unmeasured
+// warmup pass) and steady-state mallocs per batch.
+func MeasureTelemetryOverhead(family string, size int, backend string, batches, batchSize, runs int, cfg RunConfig) (TelemetryOverhead, error) {
+	cfg = cfg.WithDefaults()
+	if batches <= 0 {
+		batches = 96
+	}
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	res := TelemetryOverhead{
+		Family: family, Size: size, Backend: backend,
+		Batches: batches, BatchSize: batchSize,
+	}
+
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		return res, err
+	}
+	set := classbench.Generate(fam, size, cfg.Seed)
+	entries := classbench.ZipfTrace(set, batches*batchSize, cfg.Flows, cfg.ZipfSkew, cfg.Seed+7)
+	keys := make([]rule.Packet, len(entries))
+	for i, e := range entries {
+		keys[i] = e.Key
+	}
+
+	// Shards: 1 keeps both engines on the inline batch path, so the measured
+	// spans are pure lookup work with (at most) one histogram record and one
+	// recorder offer per batch element — no worker handoff noise.
+	base := engine.Options{Shards: 1, Binth: cfg.Binth}
+
+	off, err := engine.NewEngine(backend, set, base)
+	if err != nil {
+		return res, err
+	}
+	defer off.Close()
+
+	tel := telemetry.New(telemetry.Config{})
+	tel.SetSlowThreshold(0)
+	armed := base
+	armed.Telemetry = tel
+	on, err := engine.NewEngine(backend, set, armed)
+	if err != nil {
+		return res, err
+	}
+	defer on.Close()
+
+	offLats, offAllocs := measureTelemetryPasses(off, keys, batches, batchSize, runs)
+	onLats, onAllocs := measureTelemetryPasses(on, keys, batches, batchSize, runs)
+
+	res.OffP50Nanos = percentile(offLats, 0.50)
+	res.OffP99Nanos = percentile(offLats, 0.99)
+	res.OnP50Nanos = percentile(onLats, 0.50)
+	res.OnP99Nanos = percentile(onLats, 0.99)
+	res.OffAllocsPerBatch = offAllocs
+	res.OnAllocsPerBatch = onAllocs
+	if res.OffP50Nanos > 0 {
+		res.OverheadPct = (res.OnP50Nanos - res.OffP50Nanos) / res.OffP50Nanos * 100
+	}
+	res.AllocsDelta = onAllocs - offAllocs
+	res.HistogramSamples = tel.LookupBatch.Snapshot().Count()
+	res.SlowCaptured = tel.Slow.Captured()
+	return res, nil
+}
+
+// measureTelemetryPasses drives ClassifyBatch over `batches` disjoint windows
+// of the trace per pass. Pass zero is unmeasured warmup (scratch freelists,
+// flow-state, branch predictors); each measured pass then records per-batch
+// latencies and the pass's total malloc count. It returns the sorted
+// latencies of the best pass (lowest p50) and the minimum mallocs-per-batch
+// across measured passes — the steady-state allocation rate, immune to
+// one-off warmup or GC-metadata noise in a single pass.
+func measureTelemetryPasses(eng *engine.Engine, keys []rule.Packet, batches, batchSize, runs int) ([]int64, float64) {
+	out := make([]engine.Result, batchSize)
+	lats := make([]int64, batches)
+	drive := func(measured bool) uint64 {
+		var before, after runtime.MemStats
+		if measured {
+			runtime.ReadMemStats(&before)
+		}
+		for b := 0; b < batches; b++ {
+			lo := (b * batchSize) % len(keys)
+			hi := lo + batchSize
+			if hi > len(keys) {
+				hi = len(keys)
+			}
+			t0 := time.Now()
+			eng.ClassifyBatch(keys[lo:hi], out[:hi-lo])
+			lats[b] = time.Since(t0).Nanoseconds()
+		}
+		if !measured {
+			return 0
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+
+	drive(false)
+	var bestLats []int64
+	minAllocs := -1.0
+	for run := 0; run < runs; run++ {
+		mallocs := drive(true)
+		sorted := make([]int64, batches)
+		copy(sorted, lats)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		if bestLats == nil || percentile(sorted, 0.50) < percentile(bestLats, 0.50) {
+			bestLats = sorted
+		}
+		if perBatch := float64(mallocs) / float64(batches); minAllocs < 0 || perBatch < minAllocs {
+			minAllocs = perBatch
+		}
+	}
+	return bestLats, minAllocs
+}
+
+// CheckTelemetry asserts the telemetry cost contract: full instrumentation
+// (every span recorded, flight recorder at threshold 0) may tax batch p50 by
+// at most maxOverheadPct percent and must not allocate on the hot path (zero
+// steady-state mallocs-per-batch delta). It also rejects a run whose armed
+// engine recorded nothing — that means the cell silently measured two
+// unarmed engines. Returns a violation message when the contract is broken.
+func CheckTelemetry(r TelemetryOverhead, maxOverheadPct float64) (violation string) {
+	if r.HistogramSamples == 0 || r.SlowCaptured == 0 {
+		return fmt.Sprintf(
+			"%s_%d_%s: armed engine recorded nothing (histogram samples %d, slow captures %d) — the overhead measurement is void",
+			r.Family, r.Size, r.Backend, r.HistogramSamples, r.SlowCaptured)
+	}
+	if r.AllocsDelta > 0 {
+		return fmt.Sprintf(
+			"%s_%d_%s batch=%d: telemetry allocates on the hot path (%.2f mallocs/batch armed vs %.2f off, delta %.2f, want 0)",
+			r.Family, r.Size, r.Backend, r.BatchSize,
+			r.OnAllocsPerBatch, r.OffAllocsPerBatch, r.AllocsDelta)
+	}
+	if maxOverheadPct > 0 && r.OverheadPct > maxOverheadPct {
+		return fmt.Sprintf(
+			"%s_%d_%s batch=%d: telemetry batch p50 %.0fns vs %.0fns off is +%.1f%% (want <= %.1f%%)",
+			r.Family, r.Size, r.Backend, r.BatchSize,
+			r.OnP50Nanos, r.OffP50Nanos, r.OverheadPct, maxOverheadPct)
+	}
+	return ""
+}

@@ -1,0 +1,79 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMeasureTelemetryOverhead: the telemetry cell must actually arm the
+// instrumented engine (histogram samples and flight-recorder captures both
+// non-zero) and must see zero steady-state allocations per batch on both
+// configurations — the same contract the CI gate enforces, minus the latency
+// bound, which a loaded test machine cannot assert reliably.
+func TestMeasureTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res, err := MeasureTelemetryOverhead("acl1", 500, "tss", 16, 64, 2, RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HistogramSamples == 0 {
+		t.Error("armed engine recorded no histogram samples")
+	}
+	if res.SlowCaptured == 0 {
+		t.Error("flight recorder at threshold 0 captured nothing")
+	}
+	if res.OffP50Nanos <= 0 || res.OnP50Nanos <= 0 {
+		t.Errorf("p50s off=%.0f on=%.0f, want positive", res.OffP50Nanos, res.OnP50Nanos)
+	}
+	if res.OffP99Nanos < res.OffP50Nanos || res.OnP99Nanos < res.OnP50Nanos {
+		t.Errorf("p99 below p50: off %.0f/%.0f on %.0f/%.0f",
+			res.OffP50Nanos, res.OffP99Nanos, res.OnP50Nanos, res.OnP99Nanos)
+	}
+	if res.OffAllocsPerBatch != 0 || res.OnAllocsPerBatch != 0 {
+		t.Errorf("steady-state allocs per batch: off=%.2f on=%.2f, want 0 and 0",
+			res.OffAllocsPerBatch, res.OnAllocsPerBatch)
+	}
+	if v := CheckTelemetry(res, 0); v != "" {
+		t.Errorf("report-only check flagged a healthy run: %s", v)
+	}
+}
+
+// TestCheckTelemetryViolations: each leg of the gate fires with a message
+// naming the broken quantity.
+func TestCheckTelemetryViolations(t *testing.T) {
+	healthy := TelemetryOverhead{
+		Family: "acl1", Size: 10000, Backend: "hicuts", Batches: 96, BatchSize: 512,
+		OffP50Nanos: 10000, OnP50Nanos: 10300, OverheadPct: 3,
+		HistogramSamples: 96, SlowCaptured: 96,
+	}
+	if v := CheckTelemetry(healthy, 5); v != "" {
+		t.Fatalf("healthy run flagged: %s", v)
+	}
+
+	unarmed := healthy
+	unarmed.HistogramSamples = 0
+	if v := CheckTelemetry(unarmed, 5); !strings.Contains(v, "recorded nothing") {
+		t.Errorf("unarmed run: %q", v)
+	}
+
+	leaky := healthy
+	leaky.OnAllocsPerBatch, leaky.AllocsDelta = 2, 2
+	if v := CheckTelemetry(leaky, 5); !strings.Contains(v, "allocates on the hot path") {
+		t.Errorf("alloc delta: %q", v)
+	}
+	// The alloc contract holds even in report-only latency mode.
+	if v := CheckTelemetry(leaky, 0); v == "" {
+		t.Error("alloc delta ignored at max-overhead-pct 0")
+	}
+
+	slow := healthy
+	slow.OnP50Nanos, slow.OverheadPct = 12000, 20
+	if v := CheckTelemetry(slow, 5); !strings.Contains(v, "want <= 5.0%") {
+		t.Errorf("overhead: %q", v)
+	}
+	if v := CheckTelemetry(slow, 0); v != "" {
+		t.Errorf("report-only mode gated latency: %q", v)
+	}
+}

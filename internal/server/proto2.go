@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
@@ -130,7 +131,15 @@ func (s *Server) handleV2(conn *servedConn, br *bufio.Reader, w *bufio.Writer) {
 			conn.endRequest()
 			return
 		}
-		resp := s.respondFrame(f, &bufs)
+		var resp Frame
+		if s.Telemetry != nil {
+			t0 := time.Now()
+			resp = s.respondFrame(f, &bufs)
+			ns := time.Since(t0).Nanoseconds()
+			s.Telemetry.ServerV2.RecordNanos(uint64(ns), ns)
+		} else {
+			resp = s.respondFrame(f, &bufs)
+		}
 		bufs.enc = AppendFrame(bufs.enc[:0], resp)
 		if _, err := w.Write(bufs.enc); err != nil {
 			conn.endRequest()

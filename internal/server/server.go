@@ -58,6 +58,7 @@ import (
 
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 // Classifier is the minimal lookup interface the server exposes; decision
@@ -127,6 +128,11 @@ type Server struct {
 	// serving defaults (shards, binth, compaction) instead of zero options.
 	// Set it before Listen; multi-table servers only.
 	TableCreateOptions engine.Options
+
+	// Telemetry, when non-nil, records per-request handling latency into
+	// the shared online-telemetry histograms (proto=v1/v2). Set it before
+	// Listen; typically the same instance the engines record into.
+	Telemetry *telemetry.Telemetry
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -436,7 +442,15 @@ func (s *Server) handleV1(conn *servedConn, br *bufio.Reader, w *bufio.Writer) {
 			return
 		}
 		conn.beginRequest(s.batchReadTimeout())
-		ok := s.serveLine(scanner, w, line)
+		var ok bool
+		if s.Telemetry != nil {
+			t0 := time.Now()
+			ok = s.serveLine(scanner, w, line)
+			ns := time.Since(t0).Nanoseconds()
+			s.Telemetry.ServerV1.RecordNanos(uint64(ns), ns)
+		} else {
+			ok = s.serveLine(scanner, w, line)
+		}
 		draining := conn.endRequest()
 		if !ok {
 			return

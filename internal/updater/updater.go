@@ -245,6 +245,16 @@ func (v *View) Base() *Base { return v.base }
 // OverlayLen returns the number of rules held in the delta overlay.
 func (v *View) OverlayLen() int { return v.overlayN }
 
+// FromOverlay reports whether the rule with the given ID lives in the
+// delta overlay rather than the base — i.e. it was inserted after the last
+// compaction. The slow-lookup flight recorder uses it to attribute a
+// winning rule to the overlay or the compiled base. Allocation-free (one
+// map probe against the base's ID index).
+func (v *View) FromOverlay(id int) bool {
+	_, inBase := v.base.indexByID[id]
+	return !inBase
+}
+
 // Tombstones returns the number of tombstoned base rules.
 func (v *View) Tombstones() int { return v.tombsN }
 

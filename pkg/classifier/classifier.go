@@ -33,11 +33,13 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"neurocuts/internal/admin"
 	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
 	"neurocuts/internal/rule"
+	"neurocuts/internal/telemetry"
 )
 
 // Packet is a point in the 5-dimensional classification space: the header
@@ -98,7 +100,10 @@ type Classifier struct {
 	eng *engine.Engine
 	// dp is non-nil when WithDataplane routed lookups through per-core
 	// run-to-completion loops; control-plane calls still go to eng.
-	dp     *dataplane.Dataplane
+	dp *dataplane.Dataplane
+	// tel is non-nil when WithTelemetry/WithSlowThreshold armed the online
+	// latency telemetry.
+	tel    *telemetry.Telemetry
 	closed atomic.Bool
 }
 
@@ -120,6 +125,14 @@ func Open(rules *RuleSet, opts ...Option) (*Classifier, error) {
 		dpCache = cfg.opts.FlowCacheEntries
 		cfg.opts.FlowCacheEntries = 0
 	}
+	var tel *telemetry.Telemetry
+	if cfg.telemetry {
+		tel = telemetry.New(telemetry.Config{})
+		if cfg.slowSet {
+			tel.SetSlowThreshold(cfg.slowThreshold.Nanoseconds())
+		}
+		cfg.opts.Telemetry = tel
+	}
 	var eng *engine.Engine
 	var err error
 	if cfg.artifact != "" {
@@ -136,7 +149,7 @@ func Open(rules *RuleSet, opts ...Option) (*Classifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Classifier{eng: eng}
+	c := &Classifier{eng: eng, tel: tel}
 	if cfg.dataplane {
 		dp, err := dataplane.Attach(eng, dataplane.Config{
 			Cores:        cfg.dataplaneCores,
@@ -270,6 +283,49 @@ type Stats struct {
 	// DataplaneCores is the number of run-to-completion classify loops when
 	// the classifier was opened WithDataplane (0 on the worker-pool path).
 	DataplaneCores int
+	// Telemetry summarises the online latency telemetry (nil unless the
+	// classifier was opened WithTelemetry or WithSlowThreshold).
+	Telemetry *TelemetryStats
+}
+
+// LatencySummary condenses one latency histogram at a point in time. The
+// quantiles are bucket-midpoint estimates from the power-of-two histogram,
+// so they carry the bucket's resolution, not nanosecond accuracy.
+type LatencySummary struct {
+	// Count is the number of recorded samples.
+	Count uint64
+	// P50 and P99 are the estimated 50th and 99th percentile latencies.
+	P50 time.Duration
+	P99 time.Duration
+}
+
+// summarise condenses a histogram snapshot.
+func summarise(s telemetry.HistogramSnapshot) LatencySummary {
+	return LatencySummary{
+		Count: s.Count(),
+		P50:   time.Duration(s.Quantile(0.50)),
+		P99:   time.Duration(s.Quantile(0.99)),
+	}
+}
+
+// TelemetryStats is the SDK view of the online latency telemetry: one
+// summary per serving path plus the flight recorder's state.
+type TelemetryStats struct {
+	// Lookup covers single-packet Classify calls; LookupBatch covers
+	// per-shard ClassifyBatch spans (one sample per chunk, not per packet);
+	// DataplaneBatch covers per-core loop spans when WithDataplane is on.
+	Lookup         LatencySummary
+	LookupBatch    LatencySummary
+	DataplaneBatch LatencySummary
+	// UpdateInsert / UpdateDelete cover full update applies; Compaction
+	// covers base rebuilds.
+	UpdateInsert LatencySummary
+	UpdateDelete LatencySummary
+	Compaction   LatencySummary
+	// SlowThreshold is the flight recorder's capture threshold (negative:
+	// capture disabled). SlowCaptured counts captures since Open.
+	SlowThreshold time.Duration
+	SlowCaptured  uint64
 }
 
 // Stats returns a point-in-time summary of the classifier.
@@ -282,7 +338,21 @@ func (c *Classifier) Stats() Stats {
 	if c.dp != nil {
 		dpCores = c.dp.Cores()
 	}
+	var ts *TelemetryStats
+	if c.tel != nil {
+		ts = &TelemetryStats{
+			Lookup:         summarise(c.tel.Lookup.Snapshot()),
+			LookupBatch:    summarise(c.tel.LookupBatch.Snapshot()),
+			DataplaneBatch: summarise(c.tel.DataplaneBatch.Snapshot()),
+			UpdateInsert:   summarise(c.tel.UpdateInsert.Snapshot()),
+			UpdateDelete:   summarise(c.tel.UpdateDelete.Snapshot()),
+			Compaction:     summarise(c.tel.Compaction.Snapshot()),
+			SlowThreshold:  time.Duration(c.tel.SlowThresholdNanos()),
+			SlowCaptured:   c.tel.Slow.Captured(),
+		}
+	}
 	return Stats{
+		Telemetry:      ts,
 		DataplaneCores: dpCores,
 		Backend:        c.eng.Backend(),
 		Rules:          c.eng.Rules().Len(),
@@ -299,10 +369,12 @@ func (c *Classifier) Stats() Stats {
 // AdminHandler returns the classifier's HTTP admin plane: Prometheus-format
 // metrics at /metrics (engine lookup/update counters, flow-cache
 // effectiveness, the online-update subsystem's overlay/compaction/journal
-// state), liveness and readiness probes at /healthz and /readyz, a JSON
-// summary at /tables, and the standard profiling endpoints under
-// /debug/pprof/. Mount it wherever the application serves management HTTP —
-// typically a loopback-only listener:
+// state — plus, with WithTelemetry, native latency histogram families and,
+// with WithDataplane, per-core ring/park/epoch-lag gauges), liveness and
+// readiness probes at /healthz and /readyz, a JSON summary at /tables, the
+// slow-lookup flight recorder at /debug/slow, and the standard profiling
+// endpoints under /debug/pprof/. Mount it wherever the application serves
+// management HTTP — typically a loopback-only listener:
 //
 //	go http.ListenAndServe("127.0.0.1:9100", c.AdminHandler())
 //
@@ -310,7 +382,9 @@ func (c *Classifier) Stats() Stats {
 // reports 503 and /metrics keeps serving the final counter values.
 func (c *Classifier) AdminHandler() http.Handler {
 	return admin.New(admin.Options{
-		Engine: c.eng,
+		Engine:    c.eng,
+		Telemetry: c.tel,
+		Dataplane: c.dp,
 		Ready: func() error {
 			if c.closed.Load() {
 				return ErrClosed

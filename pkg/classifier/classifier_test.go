@@ -219,6 +219,91 @@ func TestClosedClassifierFailsClosed(t *testing.T) {
 	}
 }
 
+// TestTelemetryStatsAndAdmin exercises the WithTelemetry/WithSlowThreshold
+// surface end to end: Stats().Telemetry summarises real traffic, the admin
+// /metrics gains the native histogram families, and /debug/slow dumps the
+// flight recorder.
+func TestTelemetryStatsAndAdmin(t *testing.T) {
+	rules := mustRules(t, "acl1", 200)
+	c, err := classifier.Open(rules,
+		classifier.WithBackend("tss"),
+		classifier.WithShards(2),
+		classifier.WithOnlineUpdates(),
+		classifier.WithSlowThreshold(0)) // implies WithTelemetry; capture all
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx := context.Background()
+	keys := classifier.GenerateTrace(rules, 256, 7)
+	if _, err := c.ClassifyBatch(ctx, keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys[:16] {
+		if _, _, err := c.Classify(ctx, key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Insert(0, classifier.NewWildcardRule(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := c.Stats().Telemetry
+	if ts == nil {
+		t.Fatal("Stats().Telemetry = nil with WithSlowThreshold set")
+	}
+	if ts.Lookup.Count != 16 {
+		t.Errorf("Lookup.Count = %d, want 16", ts.Lookup.Count)
+	}
+	if ts.LookupBatch.Count == 0 {
+		t.Error("LookupBatch.Count = 0, want recorded batch spans")
+	}
+	if ts.UpdateInsert.Count != 1 {
+		t.Errorf("UpdateInsert.Count = %d, want 1", ts.UpdateInsert.Count)
+	}
+	if ts.Lookup.P50 < 0 || ts.Lookup.P99 < ts.Lookup.P50 {
+		t.Errorf("quantiles out of order: p50=%v p99=%v", ts.Lookup.P50, ts.Lookup.P99)
+	}
+	if ts.SlowThreshold != 0 {
+		t.Errorf("SlowThreshold = %v, want 0", ts.SlowThreshold)
+	}
+	if ts.SlowCaptured == 0 {
+		t.Error("SlowCaptured = 0 at threshold 0")
+	}
+
+	srv := httptest.NewServer(c.AdminHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "# TYPE neurocuts_lookup_latency_seconds histogram") {
+		t.Error("/metrics missing the lookup latency histogram family")
+	}
+	resp, err = http.Get(srv.URL + "/debug/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(slow), `"threshold_nanos": 0`) || !strings.Contains(string(slow), `"latency_nanos"`) {
+		t.Errorf("/debug/slow missing threshold or entries:\n%s", slow)
+	}
+
+	// Without telemetry options, Stats().Telemetry stays nil.
+	plain, err := classifier.Open(rules, classifier.WithBackend("linear"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.Stats().Telemetry != nil {
+		t.Error("Stats().Telemetry non-nil without WithTelemetry")
+	}
+}
+
 func TestAdminHandler(t *testing.T) {
 	c, err := classifier.Open(mustRules(t, "acl1", 100),
 		classifier.WithBackend("linear"))

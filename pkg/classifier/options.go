@@ -13,6 +13,9 @@ type config struct {
 	opts           engine.Options
 	dataplane      bool
 	dataplaneCores int
+	telemetry      bool
+	slowThreshold  time.Duration
+	slowSet        bool
 }
 
 // Option configures Open.
@@ -88,6 +91,31 @@ func WithDataplane(cores int) Option {
 	return func(c *config) {
 		c.dataplane = true
 		c.dataplaneCores = cores
+	}
+}
+
+// WithTelemetry enables online latency telemetry: lock-free preallocated
+// histograms recorded on every serving path (single lookups, batch spans,
+// dataplane core loops, update applies, compactions) and a slow-lookup
+// flight recorder. Recording costs one atomic add per sample and keeps
+// every hot path at zero allocations per operation. Read the results
+// through Stats().Telemetry, or scrape them as native Prometheus histogram
+// families from AdminHandler's /metrics (the flight recorder dumps at
+// /debug/slow).
+func WithTelemetry() Option {
+	return func(c *config) { c.telemetry = true }
+}
+
+// WithSlowThreshold arms the flight recorder (implying WithTelemetry):
+// lookups at or above d are captured into a fixed-size lock-free ring —
+// latency, table, backend, traversal depth, cache and overlay attribution —
+// holding the worst recent offenders for AdminHandler's /debug/slow.
+// d = 0 captures every lookup; a negative d disables capture.
+func WithSlowThreshold(d time.Duration) Option {
+	return func(c *config) {
+		c.telemetry = true
+		c.slowThreshold = d
+		c.slowSet = true
 	}
 }
 
