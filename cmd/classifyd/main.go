@@ -28,6 +28,23 @@
 //
 //	classifyd -family acl1 -size 1000 -cores 8 -flow-cache 65536 -listen 127.0.0.1:9099
 //
+// Replay a real capture through the classifier — decode Ethernet/VLAN/IPv4
+// frames into 5-tuples and classify them, at maximum rate or paced to the
+// capture's recorded timing (see internal/iface):
+//
+//	classifyd -family acl1 -size 1000 -pcap trace.pcap
+//	classifyd -artifact policy.ncaf -pcap trace.pcap -pcap-rate 1
+//
+// Classify live traffic from an interface (linux, CAP_NET_RAW), writing
+// everything ingested to a pcap fixture for later replay:
+//
+//	classifyd -family acl1 -capture eth0 -pcap-out captured.pcap
+//
+// Serve batch lookups to a co-located process over a shared-memory ring as
+// well as TCP (the SDK side is classifier.WithSharedMemory):
+//
+//	classifyd -family acl1 -size 1000 -shm /run/classifyd.ring
+//
 // Query it (IPs may be dotted quads or decimal):
 //
 //	classifyd -query 127.0.0.1:9099 -packet "10.0.0.1 192.168.1.1 1234 80 6"
@@ -69,6 +86,7 @@ import (
 	"neurocuts/internal/classbench"
 	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
+	"neurocuts/internal/iface"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/server"
 	"neurocuts/internal/telemetry"
@@ -129,6 +147,12 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		journal   = fs.String("journal", "", "durable update journal path (implies -online; replayed at start; 'auto' co-locates with -artifact)")
 		compactAt = fs.Int("compact-threshold", 0, "pending updates that trigger background compaction (0 = default, <0 disables)")
 		tables    = fs.String("tables", "", "serve multiple named tables: \"name=key:val,...;name2=...\" (keys: backend, family, size, rules, artifact, journal, online; first table is the default)")
+		pcapPath  = fs.String("pcap", "", "replay this pcap capture file through the classifier instead of serving")
+		pcapRate  = fs.Float64("pcap-rate", 0, "replay pacing: 0 = maximum rate, r = r times the recorded speed (1 reproduces the capture's timing)")
+		capture   = fs.String("capture", "", "classify live traffic captured from this network interface via AF_PACKET (linux, CAP_NET_RAW) instead of serving")
+		pcapOut   = fs.String("pcap-out", "", "while replaying or capturing, also write every ingested packet to this pcap fixture")
+		shmPath   = fs.String("shm", "", "additionally serve batch lookups over a shared-memory ring at this file path (single-table mode)")
+		shmSlots  = fs.Int("shm-slots", 0, "shared-memory ring capacity in descriptors, rounded up to a power of two (0 = default 4096)")
 		listen    = fs.String("listen", "127.0.0.1:9099", "address to serve on")
 		adminAddr = fs.String("admin", "", "serve the HTTP admin plane (Prometheus /metrics, /healthz, /readyz, /tables, /debug/slow, /debug/pprof/) on this address")
 		slowThr   = fs.Duration("slow-threshold", -1, "capture lookups at or above this latency into the slow-lookup flight recorder (/debug/slow; 0 captures everything, negative disables capture; latency histograms are recorded whenever -admin or this flag enables telemetry)")
@@ -169,9 +193,20 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 		tel.SetSlowThreshold(slowThr.Nanoseconds())
 	}
 
+	if *pcapPath != "" && *capture != "" {
+		return fmt.Errorf("-pcap and -capture are mutually exclusive (one ingestion source at a time)")
+	}
+	ingest := *pcapPath != "" || *capture != ""
+	if *pcapOut != "" && !ingest {
+		return fmt.Errorf("-pcap-out needs an ingestion source (-pcap or -capture)")
+	}
+
 	if *tables != "" {
 		if *cores != 0 {
 			return fmt.Errorf("-cores applies to single-table mode only (each table owns its engine; a shared dataplane would need one flow-space per table)")
+		}
+		if ingest || *shmPath != "" {
+			return fmt.Errorf("-pcap, -capture and -shm apply to single-table mode only")
 		}
 		return runTables(stdout, *tables, tableDefaults{
 			binth: *binth, timesteps: *timesteps, seed: *seed, shards: *shards,
@@ -262,11 +297,33 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 			dp.Cores(), dpCache)
 	}
 
+	if ingest {
+		src, label, err := openIngestSource(*pcapPath, *pcapRate, *capture)
+		if err != nil {
+			return err
+		}
+		return runIngest(stdout, src, label, cls, *pcapOut, sig)
+	}
+
 	srv := server.New(cls)
 	srv.Telemetry = tel
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		return err
+	}
+	var ring *iface.ShmServer
+	if *shmPath != "" {
+		batcher, ok := cls.(iface.ShmBatcher)
+		if !ok {
+			srv.Shutdown(context.Background())
+			return fmt.Errorf("-shm: serving surface does not support batch classification")
+		}
+		ring, err = iface.NewShmServer(*shmPath, batcher, iface.ShmServerConfig{Slots: *shmSlots})
+		if err != nil {
+			srv.Shutdown(context.Background())
+			return err
+		}
+		fmt.Fprintf(stdout, "classifyd: shared-memory ring on %s (%d slots)\n", ring.Path(), ring.Slots())
 	}
 	fmt.Fprintf(stdout, "classifyd: serving %s engine (%d rules) on %s\n",
 		engine.DisplayName(eng.Backend()), eng.Rules().Len(), addr)
@@ -286,6 +343,12 @@ func run(args []string, sig <-chan os.Signal, stdout io.Writer) error {
 	// Admin first: monitoring must stop seeing the daemon as live before the
 	// classification server starts refusing work.
 	stopAdmin(ctx)
+	if ring != nil {
+		if st := ring.Stats(); st.Packets > 0 {
+			fmt.Fprintf(stdout, "classifyd: shared-memory ring served %d packets in %d batches\n", st.Packets, st.Batches)
+		}
+		ring.Close()
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		// A missed drain deadline force-closed stragglers; the daemon still
 		// exits cleanly, but say what happened.
@@ -454,6 +517,107 @@ func runQueryOps(stdout io.Writer, q queryArgs, ops queryOps) error {
 	default:
 		return fmt.Errorf("-query needs one of -packet, -add, -del, -save, -load or -list-tables")
 	}
+}
+
+// openIngestSource builds the selected packet source: a pcap replay or an
+// AF_PACKET live capture.
+func openIngestSource(pcapPath string, rate float64, capture string) (iface.Source, string, error) {
+	if pcapPath != "" {
+		src, err := iface.OpenPcap(pcapPath, iface.PcapConfig{Rate: rate})
+		if err != nil {
+			return nil, "", err
+		}
+		return src, fmt.Sprintf("replay of %s", pcapPath), nil
+	}
+	src, err := iface.OpenAFPacket(capture, iface.AFPacketConfig{})
+	if err != nil {
+		return nil, "", err
+	}
+	return src, fmt.Sprintf("live capture on %s", capture), nil
+}
+
+// ingestBatch is the span size of one ReadBatch/ClassifyBatch round in
+// ingestion mode.
+const ingestBatch = 512
+
+// runIngest pumps packets from src through the classifier until the source
+// is exhausted (pcap EOF) or a signal arrives (live capture, or an
+// interrupted replay), optionally mirroring every ingested packet into a
+// pcap fixture.
+func runIngest(stdout io.Writer, src iface.Source, label string, cls server.Classifier, pcapOut string, sig <-chan os.Signal) error {
+	defer src.Close()
+	batcher, ok := cls.(server.BatchClassifier)
+	if !ok {
+		return fmt.Errorf("ingest: serving surface does not support batch classification")
+	}
+
+	var pw *iface.PcapWriter
+	if pcapOut != "" {
+		f, err := os.Create(pcapOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pw, err = iface.NewPcapWriter(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintf(stdout, "classifyd: classifying %s\n", label)
+	ps := make([]rule.Packet, ingestBatch)
+	out := make([]engine.Result, ingestBatch)
+	var total, matches uint64
+	outTS := uint64(time.Second)
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-sig:
+			fmt.Fprintln(stdout, "classifyd: signal received, stopping ingestion")
+			break loop
+		default:
+		}
+		n, err := src.ReadBatch(ps)
+		if n > 0 {
+			batcher.ClassifyBatch(ps[:n], out[:n])
+			for i := 0; i < n; i++ {
+				if out[i].OK {
+					matches++
+				}
+			}
+			if pw != nil {
+				for i := 0; i < n; i++ {
+					if werr := pw.WritePacket(outTS, ps[i]); werr != nil {
+						return werr
+					}
+					outTS += uint64(iface.TraceInterval)
+				}
+			}
+			total += uint64(n)
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	if pw != nil {
+		if err := pw.Flush(); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "classifyd: wrote %d packets to %s\n", total, pcapOut)
+	}
+	var skipped uint64
+	if st, ok := src.(interface{ Stats() iface.SourceStats }); ok {
+		skipped = st.Stats().Skipped
+	}
+	rate := float64(total) / elapsed.Seconds()
+	fmt.Fprintf(stdout, "classifyd: ingested %d packets (%d matches, %d skipped frames) in %v (%.0f pkt/s)\n",
+		total, matches, skipped, elapsed.Round(time.Millisecond), rate)
+	return nil
 }
 
 func loadClassifier(path, family string, size int, seed int64) (*rule.Set, error) {

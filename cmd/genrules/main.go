@@ -8,6 +8,12 @@
 // The classifier is written in ClassBench filter format and the trace in the
 // ClassBench trace format (one packet per line with the ground-truth
 // matching rule appended).
+//
+// With -pcapout the trace is additionally rendered as a classic pcap file —
+// each entry becomes a minimal Ethernet/IPv4 frame — so any pcap tool, and
+// classifyd's -pcap replay mode, can consume synthetic workloads:
+//
+//	genrules -family acl1 -size 1000 -trace 10000 -pcapout acl1_1k.pcap
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"os"
 
 	"neurocuts/internal/classbench"
+	"neurocuts/internal/iface"
 	"neurocuts/internal/packet"
 	"neurocuts/internal/rule"
 )
@@ -28,6 +35,7 @@ func main() {
 		out      = flag.String("out", "", "output file for the classifier (default stdout)")
 		traceN   = flag.Int("trace", 0, "also generate a header trace with this many packets")
 		traceOut = flag.String("traceout", "", "output file for the trace (default stdout after the classifier)")
+		pcapOut  = flag.String("pcapout", "", "also render the trace as a pcap capture file at this path (needs -trace)")
 		uniform  = flag.Bool("uniform", false, "generate a uniform random trace instead of a rule-biased one")
 		list     = flag.Bool("list", false, "list the available families and exit")
 	)
@@ -62,6 +70,14 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "generated %d trace packets\n", len(entries))
+		if *pcapOut != "" {
+			if err := writePcap(entries, *pcapOut); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote pcap rendering to %s\n", *pcapOut)
+		}
+	} else if *pcapOut != "" {
+		fatal(fmt.Errorf("-pcapout needs -trace to say how many packets to render"))
 	}
 }
 
@@ -87,6 +103,19 @@ func writeTrace(entries []packet.TraceEntry, path string) error {
 	}
 	defer f.Close()
 	return packet.WriteTrace(f, entries)
+}
+
+// writePcap renders the trace as a pcap capture file.
+func writePcap(entries []packet.TraceEntry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := iface.WriteTracePcap(f, entries); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -52,6 +52,8 @@ func main() {
 		checkCompiledBatchCmd(os.Args[2:])
 	case "checktelemetry":
 		checkTelemetryCmd(os.Args[2:])
+	case "realtrace":
+		realTraceCmd(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -77,6 +79,9 @@ func usage() {
                         assert grouped LookupBatch p50 beats scalar lookup by >= X per family
   perflab checktelemetry [-family F -size N -backend B -batches N -batch N -max-overhead-pct X]
                         assert full telemetry taxes batch p50 by <= X% with zero hot-path allocs
+  perflab realtrace     [-families F,F -size N -backend B -packets N -batch N -min-fraction X]
+                        replay a pcap-rendered trace through the ingestion layer and assert
+                        decode+classify retains >= X of the direct classify throughput
 
 run 'perflab run -h' or 'perflab compare -h' for flags.
 The compiled-vs-legacy grid: perflab run -families acl1 -sizes 300 -skews uniform \
@@ -533,6 +538,65 @@ func checkTelemetryCmd(args []string) {
 	}
 	if violation != "" {
 		fmt.Fprintln(os.Stderr, "perflab: "+violation)
+		os.Exit(2)
+	}
+}
+
+func realTraceCmd(args []string) {
+	fs := flag.NewFlagSet("realtrace", flag.ExitOnError)
+	var (
+		families    = fs.String("families", "acl1,fw1,ipc1", "comma-separated ClassBench families")
+		size        = fs.Int("size", 1000, "rule-set size")
+		backend     = fs.String("backend", "hicuts", "engine backend")
+		packets     = fs.Int("packets", 50000, "trace length rendered into the pcap")
+		batch       = fs.Int("batch", 512, "packets per ReadBatch/ClassifyBatch span")
+		runs        = fs.Int("runs", 3, "measurement passes per path (best-of)")
+		seed        = fs.Int64("seed", 1, "random seed")
+		minFraction = fs.Float64("min-fraction", 0.25, "min replay/direct throughput fraction (0 = report only)")
+		retries     = fs.Int("retries", 2, "re-measure up to this many times on violation")
+		out         = fs.String("out", "BENCH_realtrace.json", "write the results as JSON to this path ('' = skip)")
+	)
+	fs.Parse(args)
+
+	var results []perf.RealTraceResult
+	var failures []string
+	for _, fam := range splitCSV(*families) {
+		var res perf.RealTraceResult
+		var violation string
+		for attempt := 0; ; attempt++ {
+			var err error
+			res, err = perf.MeasureRealTrace(fam, *size, *backend, *packets, *batch, *runs, perf.RunConfig{Seed: *seed})
+			if err != nil {
+				fatal(err)
+			}
+			violation = perf.CheckRealTrace(res, *minFraction)
+			if violation == "" || attempt >= *retries {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "perflab: attempt %d/%d: %s — re-measuring\n", attempt+1, *retries+1, violation)
+		}
+		verdict := "ok"
+		if violation != "" {
+			verdict = "REGRESSION"
+			failures = append(failures, violation)
+		}
+		fmt.Printf("%s_%d_%s pcap %5.1fMB  direct %9.0f pps  decode %9.0f pps  replay %9.0f pps (%.2fx)  shm %9.0f pps  matches=%d  %s\n",
+			res.Family, res.Size, res.Backend, float64(res.PcapBytes)/(1<<20),
+			res.DirectPacketsPerSec, res.DecodePacketsPerSec,
+			res.ReplayPacketsPerSec, res.ReplayFraction, res.ShmPacketsPerSec,
+			res.Matches, verdict)
+		results = append(results, res)
+	}
+	if *out != "" {
+		if err := writeJSON(*out, results); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perflab: wrote %s\n", *out)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "perflab: "+f)
+		}
 		os.Exit(2)
 	}
 }

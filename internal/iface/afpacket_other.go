@@ -1,0 +1,38 @@
+//go:build !linux
+
+package iface
+
+import (
+	"time"
+
+	"neurocuts/internal/rule"
+)
+
+// AFPacketConfig configures a live capture (Linux only; present everywhere
+// so callers compile unconditionally).
+type AFPacketConfig struct {
+	// PollTimeout bounds how long one empty socket read blocks.
+	PollTimeout time.Duration
+	// SnapLen is the per-frame read buffer size.
+	SnapLen int
+}
+
+// AFPacketSource is the non-Linux stub of the live capture source; it can
+// never be constructed.
+type AFPacketSource struct{}
+
+// OpenAFPacket fails with ErrAFPacketUnsupported on non-Linux platforms.
+func OpenAFPacket(name string, cfg AFPacketConfig) (*AFPacketSource, error) {
+	return nil, ErrAFPacketUnsupported
+}
+
+// ReadBatch implements Source; it is unreachable on this platform.
+func (s *AFPacketSource) ReadBatch(ps []rule.Packet) (int, error) {
+	return 0, ErrAFPacketUnsupported
+}
+
+// Stats returns zero counters.
+func (s *AFPacketSource) Stats() SourceStats { return SourceStats{} }
+
+// Close is a no-op.
+func (s *AFPacketSource) Close() error { return nil }

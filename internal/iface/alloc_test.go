@@ -1,0 +1,80 @@
+package iface
+
+import (
+	"bytes"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// TestZeroAllocPcapRead pins the pcap replay steady state at zero heap
+// allocations per ReadBatch: the reader's frame buffer, record header and
+// decoder are all reused, so replaying a multi-gigabyte capture costs no GC.
+func TestZeroAllocPcapRead(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is meaningless under -race; the alloc gate runs in the non-race CI pass")
+	}
+	entries := testTrace(t, 8000)
+	data := tracePcap(t, entries)
+	r, err := NewPcapReader(bytes.NewReader(data), PcapConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: first reads may grow the frame buffer once.
+	ps := make([]rule.Packet, 64)
+	if _, err := r.ReadBatch(ps); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.ReadBatch(ps); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("pcap ReadBatch allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestZeroAllocShmClient pins the shared-memory batch path at zero heap
+// allocations per ClassifyBatchInto call. The backing engine is linear —
+// itself allocation-free — because AllocsPerRun counts every allocation in
+// the process, including the server loop running concurrently.
+func TestZeroAllocShmClient(t *testing.T) {
+	if raceEnabled {
+		t.Skip("AllocsPerRun is meaningless under -race; the alloc gate runs in the non-race CI pass")
+	}
+	set := allocShmSet(t)
+	eng, err := engine.NewEngine("linear", set, engine.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	path := filepath.Join(t.TempDir(), "ring")
+	srv, err := NewShmServer(path, eng, ShmServerConfig{Slots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := OpenShmClient(path, ShmClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ps := allocShmPackets(t, set, 200) // 200 > slots/2: exercises chunking too
+	out := make([]engine.Result, len(ps))
+	if err := c.ClassifyBatchInto(ps, out); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := c.ClassifyBatchInto(ps, out); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("shm ClassifyBatchInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}

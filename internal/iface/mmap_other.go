@@ -1,0 +1,12 @@
+//go:build !unix
+
+package iface
+
+import "os"
+
+// mmapFile fails on platforms without shared file mappings; the
+// shared-memory transport is unavailable there (ErrShmUnsupported).
+func mmapFile(f *os.File, size int) ([]byte, error) { return nil, ErrShmUnsupported }
+
+// munmapFile is a no-op on platforms without mmap.
+func munmapFile(b []byte) error { return nil }

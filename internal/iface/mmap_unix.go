@@ -1,0 +1,16 @@
+//go:build unix
+
+package iface
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f shared and writable.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+// munmapFile unmaps a mapping returned by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

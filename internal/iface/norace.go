@@ -1,0 +1,6 @@
+//go:build !race
+
+package iface
+
+// raceEnabled is false in normal builds; see race.go.
+const raceEnabled = false

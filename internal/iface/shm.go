@@ -1,0 +1,174 @@
+package iface
+
+import (
+	"encoding/binary"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// The shared-memory transport is one file-backed mmap region shared by a
+// serving process and a co-located client, so a batch of lookups costs two
+// ring traversals instead of a TCP round trip. The region holds a handshake
+// header, four cache-line-separated ring cursors and two descriptor rings:
+//
+//	offset 0    header: magic, version, slot count, state
+//	offset 64   reqTail  — client produces request descriptors
+//	offset 128  reqHead  — server consumes them
+//	offset 192  respTail — server produces result descriptors
+//	offset 256  respHead — client consumes them
+//	offset 384  request slots  (16 B each: the 5-tuple key)
+//	     + 16·N response slots (16 B each: rule ID, priority, match flag)
+//
+// Both rings follow the dataplane's SPSC discipline (internal/dataplane
+// ring.go): exactly one producer and one consumer per ring, so two atomic
+// cursors fully synchronise each — the producer's tail store publishes the
+// slots written before it, the consumer's head store releases them. Each
+// cursor sits alone on its cache line, here so the two *processes* never
+// false-share. The client serialises its callers with a mutex (it is the
+// single producer of the request ring); the server runs one loop goroutine
+// (single consumer/producer on its sides).
+const (
+	shmMagic   uint64 = 0x0031524D4853434E // "NCSHMR1\0", little-endian
+	shmVersion uint32 = 1
+
+	shmOffMagic    = 0
+	shmOffVersion  = 8
+	shmOffSlots    = 12
+	shmOffState    = 16
+	shmOffReqTail  = 64
+	shmOffReqHead  = 128
+	shmOffRespTail = 192
+	shmOffRespHead = 256
+	shmDataOff     = 384
+
+	shmReqSlotBytes  = 16
+	shmRespSlotBytes = 16
+
+	shmStateInit   uint32 = 0
+	shmStateReady  uint32 = 1
+	shmStateClosed uint32 = 2
+
+	// shmMaxSlots bounds the ring size a client will accept from a
+	// handshake header, so a corrupt file cannot demand an absurd mapping.
+	shmMaxSlots = 1 << 20
+)
+
+// ErrShmHandshake is returned when the shared file is not a valid ring
+// region (bad magic, version, slot count or size).
+var ErrShmHandshake = errors.New("iface: invalid shared-memory ring file")
+
+// ErrShmStalled is returned when the peer stops making progress for longer
+// than the configured timeout (e.g. the serving process was killed without
+// closing the ring).
+var ErrShmStalled = errors.New("iface: shared-memory peer not responding")
+
+// ShmBatcher is the classification surface the ring server drains into:
+// engine.Engine and dataplane.Dataplane both satisfy it.
+type ShmBatcher interface {
+	ClassifyBatch(ps []rule.Packet, out []engine.Result)
+}
+
+// shmFileSize returns the region size for a slot count.
+func shmFileSize(slots int) int {
+	return shmDataOff + slots*(shmReqSlotBytes+shmRespSlotBytes)
+}
+
+// shmMap wraps the mapped region with typed accessors. All cursor loads
+// and stores go through sync/atomic on 8-byte-aligned words inside the
+// mapping (the mapping is page-aligned and every cursor offset is a
+// multiple of 64).
+type shmMap struct {
+	data    []byte
+	slots   uint64
+	mask    uint64
+	respOff int
+}
+
+func (m *shmMap) init(data []byte, slots uint32) {
+	m.data = data
+	m.slots = uint64(slots)
+	m.mask = uint64(slots) - 1
+	m.respOff = shmDataOff + int(slots)*shmReqSlotBytes
+}
+
+func (m *shmMap) u64(off int) *uint64 { return (*uint64)(unsafe.Pointer(&m.data[off])) }
+func (m *shmMap) u32(off int) *uint32 { return (*uint32)(unsafe.Pointer(&m.data[off])) }
+
+func (m *shmMap) state() uint32           { return atomic.LoadUint32(m.u32(shmOffState)) }
+func (m *shmMap) setState(s uint32)       { atomic.StoreUint32(m.u32(shmOffState), s) }
+func (m *shmMap) load(off int) uint64     { return atomic.LoadUint64(m.u64(off)) }
+func (m *shmMap) store(off int, v uint64) { atomic.StoreUint64(m.u64(off), v) }
+
+// writeReq serialises one request key into slot i.
+func (m *shmMap) writeReq(i uint64, p rule.Packet) {
+	b := m.data[shmDataOff+int(i)*shmReqSlotBytes:]
+	binary.LittleEndian.PutUint32(b[0:4], p.SrcIP)
+	binary.LittleEndian.PutUint32(b[4:8], p.DstIP)
+	binary.LittleEndian.PutUint16(b[8:10], p.SrcPort)
+	binary.LittleEndian.PutUint16(b[10:12], p.DstPort)
+	b[12] = p.Proto
+}
+
+// readReq deserialises slot i into a request key.
+func (m *shmMap) readReq(i uint64) rule.Packet {
+	b := m.data[shmDataOff+int(i)*shmReqSlotBytes:]
+	return rule.Packet{
+		SrcIP:   binary.LittleEndian.Uint32(b[0:4]),
+		DstIP:   binary.LittleEndian.Uint32(b[4:8]),
+		SrcPort: binary.LittleEndian.Uint16(b[8:10]),
+		DstPort: binary.LittleEndian.Uint16(b[10:12]),
+		Proto:   b[12],
+	}
+}
+
+// writeResp serialises one classification result into response slot i. Only
+// the winning rule's identity crosses the ring — ID and priority, exactly
+// what wire protocol v2 carries — not its ranges.
+func (m *shmMap) writeResp(i uint64, r *engine.Result) {
+	b := m.data[m.respOff+int(i)*shmRespSlotBytes:]
+	var flags uint32
+	if r.OK {
+		flags = 1
+	}
+	binary.LittleEndian.PutUint64(b[0:8], uint64(int64(r.Rule.ID)))
+	binary.LittleEndian.PutUint32(b[8:12], uint32(int32(r.Rule.Priority)))
+	binary.LittleEndian.PutUint32(b[12:16], flags)
+}
+
+// readResp deserialises response slot i. The reconstructed Result carries
+// the matched rule's ID and Priority only; the ranges live on the serving
+// side.
+func (m *shmMap) readResp(i uint64, out *engine.Result) {
+	b := m.data[m.respOff+int(i)*shmRespSlotBytes:]
+	id := int64(binary.LittleEndian.Uint64(b[0:8]))
+	prio := int32(binary.LittleEndian.Uint32(b[8:12]))
+	ok := binary.LittleEndian.Uint32(b[12:16])&1 != 0
+	*out = engine.Result{OK: ok}
+	if ok {
+		out.Rule.ID = int(id)
+		out.Rule.Priority = int(prio)
+	}
+}
+
+// shmBackoff is the wait strategy both sides use on an empty or full ring:
+// yield the processor for a while, then sleep in short steps. Busy-waiting
+// forever would pin a core per idle ring; sleeping immediately would add
+// milliseconds to every batch.
+type shmBackoff struct{ spins int }
+
+func (b *shmBackoff) wait() {
+	b.spins++
+	if b.spins < 256 {
+		runtime.Gosched()
+		return
+	}
+	time.Sleep(20 * time.Microsecond)
+}
+
+func (b *shmBackoff) reset() { b.spins = 0 }

@@ -1,0 +1,304 @@
+package iface
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// allocShmSet builds the small deterministic classifier the shm tests (and
+// the shm alloc gate) serve.
+func allocShmSet(t testing.TB) *rule.Set {
+	t.Helper()
+	fam, err := classbench.FamilyByName("acl1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return classbench.Generate(fam, 128, 1)
+}
+
+// allocShmPackets draws rule-biased packets against set.
+func allocShmPackets(t testing.TB, set *rule.Set, n int) []rule.Packet {
+	t.Helper()
+	entries := classbench.GenerateTrace(set, n, 7)
+	ps := make([]rule.Packet, len(entries))
+	for i, e := range entries {
+		ps[i] = e.Key
+	}
+	return ps
+}
+
+// newShmPair starts a server over a linear engine plus an attached client in
+// a temp dir, cleaning both up at test end.
+func newShmPair(t *testing.T, slots int) (*ShmServer, *ShmClient, *engine.Engine, *rule.Set) {
+	t.Helper()
+	set := allocShmSet(t)
+	eng, err := engine.NewEngine("linear", set, engine.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() })
+	path := filepath.Join(t.TempDir(), "ring")
+	srv, err := NewShmServer(path, eng, ShmServerConfig{Slots: slots})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := OpenShmClient(path, ShmClientConfig{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c, eng, set
+}
+
+// TestShmRoundTrip pushes batches of every awkward size through the ring
+// and checks each result against the engine classified directly.
+func TestShmRoundTrip(t *testing.T) {
+	srv, c, eng, set := newShmPair(t, 64)
+	ps := allocShmPackets(t, set, 500)
+	want := make([]engine.Result, len(ps))
+	eng.ClassifyBatch(ps, want)
+
+	for _, size := range []int{1, 2, 31, 32, 33, 64, 65, 500} {
+		got := make([]engine.Result, size)
+		if err := c.ClassifyBatchInto(ps[:size], got); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		for i := 0; i < size; i++ {
+			if got[i].OK != want[i].OK || got[i].Rule.ID != want[i].Rule.ID || got[i].Rule.Priority != want[i].Rule.Priority {
+				t.Fatalf("size %d: packet %d: ring says id=%d prio=%d ok=%v, engine says id=%d prio=%d ok=%v",
+					size, i, got[i].Rule.ID, got[i].Rule.Priority, got[i].OK,
+					want[i].Rule.ID, want[i].Rule.Priority, want[i].OK)
+			}
+		}
+	}
+	if st := srv.Stats(); st.Packets == 0 || st.Batches == 0 {
+		t.Fatalf("server stats empty after traffic: %+v", st)
+	}
+
+	// Single-packet path shares the same contract.
+	id, prio, ok, err := c.Classify(ps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != want[0].OK || id != want[0].Rule.ID || prio != want[0].Rule.Priority {
+		t.Fatalf("Classify: got id=%d prio=%d ok=%v, want id=%d prio=%d ok=%v",
+			id, prio, ok, want[0].Rule.ID, want[0].Rule.Priority, want[0].OK)
+	}
+}
+
+// TestShmConcurrentCallers hammers one client from many goroutines. The
+// client's mutex must preserve the single-producer ring discipline; run
+// under -race this is the iface CI job's main race test.
+func TestShmConcurrentCallers(t *testing.T) {
+	_, c, eng, set := newShmPair(t, 128)
+	ps := allocShmPackets(t, set, 256)
+	want := make([]engine.Result, len(ps))
+	eng.ClassifyBatch(ps, want)
+
+	const workers = 8
+	const rounds = 50
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]engine.Result, len(ps))
+			for r := 0; r < rounds; r++ {
+				lo := (w*31 + r*17) % (len(ps) - 1)
+				hi := lo + 1 + (w+r)%(len(ps)-lo)
+				if err := c.ClassifyBatchInto(ps[lo:hi], out[:hi-lo]); err != nil {
+					errc <- err
+					return
+				}
+				for i := lo; i < hi; i++ {
+					if g := out[i-lo]; g.OK != want[i].OK || g.Rule.ID != want[i].Rule.ID {
+						t.Errorf("worker %d round %d: packet %d: id=%d ok=%v, want id=%d ok=%v",
+							w, r, i, g.Rule.ID, g.OK, want[i].Rule.ID, want[i].OK)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestShmServerClose pins the shutdown contract: a client blocked on (or
+// arriving after) a closed ring gets ErrShmClosed, not a stall, and the
+// ring file is removed.
+func TestShmServerClose(t *testing.T) {
+	set := allocShmSet(t)
+	eng, err := engine.NewEngine("linear", set, engine.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	path := filepath.Join(t.TempDir(), "ring")
+	srv, err := NewShmServer(path, eng, ShmServerConfig{Slots: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := OpenShmClient(path, ShmClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(path); !os.IsNotExist(statErr) {
+		t.Fatalf("ring file still present after Close: %v", statErr)
+	}
+	ps := allocShmPackets(t, set, 4)
+	out := make([]engine.Result, len(ps))
+	if err := c.ClassifyBatchInto(ps, out); !errors.Is(err, ErrShmClosed) {
+		t.Fatalf("after server close: err = %v, want ErrShmClosed", err)
+	}
+
+	// Closing the client makes further calls fail locally.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ClassifyBatchInto(ps, out); !errors.Is(err, ErrShmClosed) {
+		t.Fatalf("after client close: err = %v, want ErrShmClosed", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestShmStalledPeer pins the watchdog: a region whose serving process is
+// gone (state still ready, nobody draining) surfaces ErrShmStalled after
+// the timeout instead of blocking forever.
+func TestShmStalledPeer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ring")
+	// Fabricate a ready region by hand — a server whose loop died.
+	const slots = 64
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := make([]byte, shmFileSize(slots))
+	binary.LittleEndian.PutUint64(hdr[shmOffMagic:], shmMagic)
+	binary.LittleEndian.PutUint32(hdr[shmOffVersion:], shmVersion)
+	binary.LittleEndian.PutUint32(hdr[shmOffSlots:], slots)
+	binary.LittleEndian.PutUint32(hdr[shmOffState:], shmStateReady)
+	if _, err := f.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c, err := OpenShmClient(path, ShmClientConfig{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]engine.Result, 1)
+	if err := c.ClassifyBatchInto([]rule.Packet{{SrcIP: 1}}, out); !errors.Is(err, ErrShmStalled) {
+		t.Fatalf("err = %v, want ErrShmStalled", err)
+	}
+}
+
+// TestShmHandshakeValidation pins the fail-fast paths: structurally wrong
+// files are rejected without waiting out the attach timeout.
+func TestShmHandshakeValidation(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, mutate func(hdr []byte)) string {
+		path := filepath.Join(dir, name)
+		hdr := make([]byte, shmFileSize(64))
+		binary.LittleEndian.PutUint64(hdr[shmOffMagic:], shmMagic)
+		binary.LittleEndian.PutUint32(hdr[shmOffVersion:], shmVersion)
+		binary.LittleEndian.PutUint32(hdr[shmOffSlots:], 64)
+		binary.LittleEndian.PutUint32(hdr[shmOffState:], shmStateReady)
+		mutate(hdr)
+		if err := os.WriteFile(path, hdr, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	fast := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"bad version", func(h []byte) { binary.LittleEndian.PutUint32(h[shmOffVersion:], 99) }},
+		{"slots not a power of two", func(h []byte) { binary.LittleEndian.PutUint32(h[shmOffSlots:], 63) }},
+		{"slots zero", func(h []byte) { binary.LittleEndian.PutUint32(h[shmOffSlots:], 0) }},
+		{"slots absurd", func(h []byte) { binary.LittleEndian.PutUint32(h[shmOffSlots:], 1<<25) }},
+	}
+	for _, tc := range fast {
+		path := write("f_"+tc.name, tc.mutate)
+		start := time.Now()
+		_, err := OpenShmClient(path, ShmClientConfig{Timeout: 5 * time.Second})
+		if !errors.Is(err, ErrShmHandshake) {
+			t.Fatalf("%s: err = %v, want ErrShmHandshake", tc.name, err)
+		}
+		if d := time.Since(start); d > time.Second {
+			t.Fatalf("%s: structural rejection took %v, want fail-fast", tc.name, d)
+		}
+	}
+
+	// Retryable shapes (absent file, bad magic, not-ready state) wait out
+	// the timeout — the server might still be coming up — then fail.
+	slow := []struct {
+		name string
+		path func() string
+	}{
+		{"absent", func() string { return filepath.Join(dir, "nonexistent") }},
+		{"bad magic", func() string {
+			return write("s_magic", func(h []byte) { binary.LittleEndian.PutUint64(h[shmOffMagic:], 7) })
+		}},
+		{"not ready", func() string {
+			return write("s_state", func(h []byte) { binary.LittleEndian.PutUint32(h[shmOffState:], shmStateInit) })
+		}},
+	}
+	for _, tc := range slow {
+		if _, err := OpenShmClient(tc.path(), ShmClientConfig{Timeout: 50 * time.Millisecond}); err == nil {
+			t.Fatalf("%s: attach unexpectedly succeeded", tc.name)
+		}
+	}
+}
+
+// TestShmSlotRounding pins that requested slot counts round up to a power
+// of two and the client sees the same capacity.
+func TestShmSlotRounding(t *testing.T) {
+	set := allocShmSet(t)
+	eng, err := engine.NewEngine("linear", set, engine.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	path := filepath.Join(t.TempDir(), "ring")
+	srv, err := NewShmServer(path, eng, ShmServerConfig{Slots: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Slots() != 128 {
+		t.Fatalf("server slots = %d, want 128", srv.Slots())
+	}
+	c, err := OpenShmClient(path, ShmClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Slots() != 128 {
+		t.Fatalf("client slots = %d, want 128", c.Slots())
+	}
+}

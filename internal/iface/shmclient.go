@@ -1,0 +1,239 @@
+package iface
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"neurocuts/internal/engine"
+	"neurocuts/internal/rule"
+)
+
+// ShmClientConfig configures a ring client.
+type ShmClientConfig struct {
+	// Timeout bounds the handshake wait (for the server to create and
+	// initialise the file) and every subsequent wait for ring progress; a
+	// serving process that dies without closing the region surfaces as
+	// ErrShmStalled after this long. Default 5s.
+	Timeout time.Duration
+}
+
+// ShmClient submits classification batches through the shared-memory ring.
+// It is safe for concurrent use: a mutex serialises callers, preserving the
+// request ring's single-producer discipline. The ClassifyBatchInto path
+// performs zero heap allocations per call.
+type ShmClient struct {
+	mu      sync.Mutex
+	m       shmMap
+	f       *os.File
+	timeout time.Duration
+	chunk   int
+	closed  bool
+
+	// Scratch for single-packet Classify so it shares the zero-alloc batch
+	// path (guarded by mu like everything else).
+	onePkt [1]rule.Packet
+	oneRes [1]engine.Result
+}
+
+// OpenShmClient attaches to the ring file at path, waiting up to the
+// configured timeout for the serving process to create and initialise it.
+func OpenShmClient(path string, cfg ShmClientConfig) (*ShmClient, error) {
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		c, retry, err := tryAttach(path)
+		if err == nil {
+			c.timeout = timeout
+			return c, nil
+		}
+		if !retry || time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// tryAttach attempts one attachment. retry=true means the file is absent or
+// not yet initialised — worth waiting for; false means it is structurally
+// wrong and waiting will not help.
+func tryAttach(path string) (*ShmClient, bool, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, true, fmt.Errorf("iface: shm open: %w", err)
+	}
+	var hdr [20]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, true, fmt.Errorf("iface: shm header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[shmOffMagic:]) != shmMagic {
+		f.Close()
+		return nil, true, ErrShmHandshake
+	}
+	if binary.LittleEndian.Uint32(hdr[shmOffVersion:]) != shmVersion {
+		f.Close()
+		return nil, false, fmt.Errorf("%w: version %d", ErrShmHandshake, binary.LittleEndian.Uint32(hdr[shmOffVersion:]))
+	}
+	slots := binary.LittleEndian.Uint32(hdr[shmOffSlots:])
+	if slots < 2 || slots > shmMaxSlots || slots&(slots-1) != 0 {
+		f.Close()
+		return nil, false, fmt.Errorf("%w: slot count %d", ErrShmHandshake, slots)
+	}
+	size := shmFileSize(int(slots))
+	st, err := f.Stat()
+	if err != nil || st.Size() < int64(size) {
+		f.Close()
+		return nil, true, ErrShmHandshake
+	}
+	data, err := mmapFile(f, size)
+	if err != nil {
+		f.Close()
+		return nil, false, err
+	}
+	c := &ShmClient{f: f}
+	c.m.init(data, slots)
+	c.chunk = int(slots) / 2
+	if c.m.state() != shmStateReady {
+		c.detach()
+		return nil, true, ErrShmHandshake
+	}
+	return c, false, nil
+}
+
+// detach unmaps and closes without touching the shared state (the server
+// owns the lifecycle of the region).
+func (c *ShmClient) detach() {
+	munmapFile(c.m.data)
+	c.f.Close()
+}
+
+// Slots returns the attached ring's capacity in descriptors.
+func (c *ShmClient) Slots() int { return int(c.m.slots) }
+
+// ClassifyBatchInto classifies ps[i] into out[i] through the ring. out must
+// be at least as long as ps. Results carry the winning rule's ID and
+// priority (the ranges stay on the serving side, as over wire protocol v2).
+func (c *ShmClient) ClassifyBatchInto(ps []rule.Packet, out []engine.Result) error {
+	if len(out) < len(ps) {
+		return fmt.Errorf("iface: shm batch: out shorter than ps (%d < %d)", len(out), len(ps))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrShmClosed
+	}
+	for lo := 0; lo < len(ps); lo += c.chunk {
+		hi := lo + c.chunk
+		if hi > len(ps) {
+			hi = len(ps)
+		}
+		if err := c.roundTrip(ps[lo:hi], out[lo:hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ClassifyBatch is the allocating convenience wrapper.
+func (c *ShmClient) ClassifyBatch(ps []rule.Packet) ([]engine.Result, error) {
+	out := make([]engine.Result, len(ps))
+	if err := c.ClassifyBatchInto(ps, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Classify classifies a single packet, returning the winning rule's ID and
+// priority.
+func (c *ShmClient) Classify(p rule.Packet) (id, priority int, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, 0, false, ErrShmClosed
+	}
+	c.onePkt[0] = p
+	if err := c.roundTrip(c.onePkt[:], c.oneRes[:]); err != nil {
+		return 0, 0, false, err
+	}
+	r := &c.oneRes[0]
+	return r.Rule.ID, r.Rule.Priority, r.OK, nil
+}
+
+// roundTrip submits one span (at most half the ring) and collects its
+// results. Caller holds mu. The span bound keeps the client's outstanding
+// descriptors at or below one ring's worth, which is what guarantees the
+// server can always publish results without checking the response ring for
+// space.
+func (c *ShmClient) roundTrip(ps []rule.Packet, out []engine.Result) error {
+	m := &c.m
+	n := uint64(len(ps))
+	var b shmBackoff
+
+	// Produce: wait for request-ring space, write the span, publish.
+	tail := m.load(shmOffReqTail)
+	deadline := time.Now().Add(c.timeout)
+	for tail+n-m.load(shmOffReqHead) > m.slots {
+		if m.state() == shmStateClosed {
+			return ErrShmClosed
+		}
+		if time.Now().After(deadline) {
+			return ErrShmStalled
+		}
+		b.wait()
+	}
+	for i := uint64(0); i < n; i++ {
+		m.writeReq((tail+i)&m.mask, ps[i])
+	}
+	m.store(shmOffReqTail, tail+n)
+
+	// Consume: collect exactly n results as the server publishes them.
+	head := m.load(shmOffRespHead)
+	consumed := uint64(0)
+	b.reset()
+	deadline = time.Now().Add(c.timeout)
+	for consumed < n {
+		avail := m.load(shmOffRespTail) - head
+		if avail == 0 {
+			if m.state() == shmStateClosed {
+				return ErrShmClosed
+			}
+			if time.Now().After(deadline) {
+				return ErrShmStalled
+			}
+			b.wait()
+			continue
+		}
+		b.reset()
+		deadline = time.Now().Add(c.timeout) // progress re-arms the watchdog
+		if avail > n-consumed {
+			avail = n - consumed
+		}
+		for i := uint64(0); i < avail; i++ {
+			m.readResp((head+i)&m.mask, &out[consumed+uint64(i)])
+		}
+		head += avail
+		m.store(shmOffRespHead, head)
+		consumed += avail
+	}
+	return nil
+}
+
+// Close detaches from the region. The server side and its file are
+// untouched — other clients (sequential; the ring is single-client) can
+// attach afterwards.
+func (c *ShmClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	c.detach()
+	return nil
+}

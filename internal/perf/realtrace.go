@@ -1,0 +1,221 @@
+package perf
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"neurocuts/internal/classbench"
+	"neurocuts/internal/engine"
+	"neurocuts/internal/iface"
+	"neurocuts/internal/rule"
+)
+
+// RealTraceResult is the outcome of the realtrace perf cell: a synthetic
+// ClassBench trace rendered as a real pcap capture, then pushed through the
+// ingestion layer — decode alone, decode + classify (the classifyd -pcap
+// replay loop), and the shared-memory ring transport — with the direct
+// in-process classify rate as the ceiling.
+type RealTraceResult struct {
+	Family  string `json:"family"`
+	Size    int    `json:"size"`
+	Backend string `json:"backend"`
+	// Packets is the trace length per pass; BatchSize the ReadBatch span.
+	Packets   int `json:"packets"`
+	BatchSize int `json:"batch_size"`
+	// PcapBytes is the rendered capture's size.
+	PcapBytes int `json:"pcap_bytes"`
+	// DirectPacketsPerSec is the in-process ClassifyBatch rate over the
+	// pre-decoded keys — the ceiling every ingestion path approaches.
+	DirectPacketsPerSec float64 `json:"direct_packets_per_sec"`
+	// DecodePacketsPerSec is the pure ingestion rate: pcap parse + Ethernet/
+	// IPv4 decode into keys, no classification.
+	DecodePacketsPerSec float64 `json:"decode_packets_per_sec"`
+	// ReplayPacketsPerSec is the end-to-end replay loop: decode + classify,
+	// exactly what classifyd -pcap runs.
+	ReplayPacketsPerSec float64 `json:"replay_packets_per_sec"`
+	// ShmPacketsPerSec is the batch rate through the shared-memory ring
+	// (client submit + server classify + result consume).
+	ShmPacketsPerSec float64 `json:"shm_packets_per_sec"`
+	// ReplayFraction is ReplayPacketsPerSec / DirectPacketsPerSec: how much
+	// of the classify ceiling survives the ingestion layer.
+	ReplayFraction float64 `json:"replay_fraction"`
+	// Matches is the replay's match count, cross-checked against the direct
+	// path so a silently corrupted decode cannot post a good number.
+	Matches int `json:"matches"`
+}
+
+// MeasureRealTrace builds the backend over a generated rule set, renders a
+// rule-biased trace as an in-memory pcap capture, and measures the
+// ingestion paths (best of runs passes each).
+func MeasureRealTrace(family string, size int, backend string, packets, batchSize, runs int, cfg RunConfig) (RealTraceResult, error) {
+	cfg = cfg.WithDefaults()
+	if packets <= 0 {
+		packets = 50000
+	}
+	if batchSize <= 0 {
+		batchSize = 512
+	}
+	if runs <= 0 {
+		runs = 3
+	}
+	res := RealTraceResult{Family: family, Size: size, Backend: backend, Packets: packets, BatchSize: batchSize}
+
+	fam, err := classbench.FamilyByName(family)
+	if err != nil {
+		return res, err
+	}
+	set := classbench.Generate(fam, size, cfg.Seed)
+	eng, err := engine.NewEngine(backend, set, engine.Options{Binth: cfg.Binth, Seed: cfg.Seed})
+	if err != nil {
+		return res, err
+	}
+	defer eng.Close()
+
+	trace := classbench.GenerateTrace(set, packets, cfg.Seed+7)
+	var pcap bytes.Buffer
+	if err := iface.WriteTracePcap(&pcap, trace); err != nil {
+		return res, err
+	}
+	res.PcapBytes = pcap.Len()
+	data := pcap.Bytes()
+
+	// The keys every path classifies are the *decoded* ones (canonical wire
+	// form), so direct and replay measure the same classification work.
+	keys := make([]rule.Packet, len(trace))
+	for i, e := range trace {
+		keys[i] = iface.CanonicalKey(e.Key)
+	}
+
+	// Direct ceiling, and the ground-truth match count.
+	out := make([]engine.Result, len(keys))
+	directMatches := 0
+	eng.ClassifyBatch(keys, out)
+	for i := range out {
+		if out[i].OK {
+			directMatches++
+		}
+	}
+	res.DirectPacketsPerSec, err = bestRate(runs, func() error {
+		for lo := 0; lo < len(keys); lo += batchSize {
+			hi := min(lo+batchSize, len(keys))
+			eng.ClassifyBatch(keys[lo:hi], out[lo:hi])
+		}
+		return nil
+	}, len(keys))
+	if err != nil {
+		return res, err
+	}
+
+	// Pure decode: the ingestion layer alone.
+	ps := make([]rule.Packet, batchSize)
+	res.DecodePacketsPerSec, err = bestRate(runs, func() error {
+		r, err := iface.NewPcapReader(bytes.NewReader(data), iface.PcapConfig{})
+		if err != nil {
+			return err
+		}
+		got := 0
+		for {
+			n, err := r.ReadBatch(ps)
+			got += n
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if got != packets {
+			return fmt.Errorf("decode pass read %d packets, want %d", got, packets)
+		}
+		return nil
+	}, packets)
+	if err != nil {
+		return res, err
+	}
+
+	// End-to-end replay: decode + classify, the classifyd -pcap loop.
+	resBatch := make([]engine.Result, batchSize)
+	res.ReplayPacketsPerSec, err = bestRate(runs, func() error {
+		r, err := iface.NewPcapReader(bytes.NewReader(data), iface.PcapConfig{})
+		if err != nil {
+			return err
+		}
+		matches := 0
+		for {
+			n, err := r.ReadBatch(ps)
+			if n > 0 {
+				eng.ClassifyBatch(ps[:n], resBatch[:n])
+				for i := 0; i < n; i++ {
+					if resBatch[i].OK {
+						matches++
+					}
+				}
+			}
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if matches != directMatches {
+			return fmt.Errorf("replay matched %d packets, direct matched %d", matches, directMatches)
+		}
+		res.Matches = matches
+		return nil
+	}, packets)
+	if err != nil {
+		return res, err
+	}
+
+	// Shared-memory ring: batches through the descriptor rings.
+	dir, err := os.MkdirTemp("", "neurocuts-realtrace-")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := iface.NewShmServer(filepath.Join(dir, "ring"), eng, iface.ShmServerConfig{})
+	if err != nil {
+		return res, err
+	}
+	defer srv.Close()
+	cli, err := iface.OpenShmClient(srv.Path(), iface.ShmClientConfig{})
+	if err != nil {
+		return res, err
+	}
+	defer cli.Close()
+	res.ShmPacketsPerSec, err = bestRate(runs, func() error {
+		for lo := 0; lo < len(keys); lo += batchSize {
+			hi := min(lo+batchSize, len(keys))
+			if err := cli.ClassifyBatchInto(keys[lo:hi], out[lo:hi]); err != nil {
+				return fmt.Errorf("shm batch: %w", err)
+			}
+		}
+		return nil
+	}, len(keys))
+	if err != nil {
+		return res, err
+	}
+
+	if res.DirectPacketsPerSec > 0 {
+		res.ReplayFraction = res.ReplayPacketsPerSec / res.DirectPacketsPerSec
+	}
+	return res, nil
+}
+
+// CheckRealTrace asserts the ingestion layer's claim: end-to-end pcap
+// replay (decode + classify) must retain at least minFraction of the direct
+// classify throughput — the decode path is zero-alloc and must never become
+// the bottleneck's dominant term. It returns a violation message when the
+// fraction falls short.
+func CheckRealTrace(r RealTraceResult, minFraction float64) (violation string) {
+	if minFraction > 0 && r.ReplayFraction < minFraction {
+		return fmt.Sprintf(
+			"%s_%d_%s: pcap replay %.0f pps retains only %.2f of the direct %.0f pps (want >= %.2f)",
+			r.Family, r.Size, r.Backend, r.ReplayPacketsPerSec, r.ReplayFraction, r.DirectPacketsPerSec, minFraction)
+	}
+	return ""
+}

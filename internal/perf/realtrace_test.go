@@ -1,0 +1,35 @@
+package perf
+
+import "testing"
+
+// TestRealTraceMeasure runs a small realtrace cell end to end: all four
+// paths must post a positive rate, the replay match count must agree with
+// the direct path (MeasureRealTrace errors otherwise), and the reported
+// fraction must be consistent with its inputs.
+func TestRealTraceMeasure(t *testing.T) {
+	res, err := MeasureRealTrace("acl1", 200, "tss", 4000, 256, 1, RunConfig{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DirectPacketsPerSec <= 0 || res.DecodePacketsPerSec <= 0 ||
+		res.ReplayPacketsPerSec <= 0 || res.ShmPacketsPerSec <= 0 {
+		t.Fatalf("non-positive rate in %+v", res)
+	}
+	if res.PcapBytes == 0 {
+		t.Fatalf("empty pcap rendering: %+v", res)
+	}
+	want := res.ReplayPacketsPerSec / res.DirectPacketsPerSec
+	if diff := res.ReplayFraction - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("ReplayFraction = %v, want %v", res.ReplayFraction, want)
+	}
+	// The gate fires exactly when the fraction is below the floor.
+	if v := CheckRealTrace(res, res.ReplayFraction/2); v != "" {
+		t.Fatalf("CheckRealTrace below actual fraction: %q", v)
+	}
+	if v := CheckRealTrace(res, res.ReplayFraction*2); v == "" {
+		t.Fatal("CheckRealTrace above actual fraction passed")
+	}
+	if v := CheckRealTrace(res, 0); v != "" {
+		t.Fatalf("report-only CheckRealTrace: %q", v)
+	}
+}

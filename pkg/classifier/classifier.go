@@ -38,6 +38,7 @@ import (
 	"neurocuts/internal/admin"
 	"neurocuts/internal/dataplane"
 	"neurocuts/internal/engine"
+	"neurocuts/internal/iface"
 	"neurocuts/internal/rule"
 	"neurocuts/internal/telemetry"
 )
@@ -90,6 +91,13 @@ var ErrRuleNotFound = engine.ErrRuleNotFound
 // ErrClosed is returned by operations on a closed Classifier.
 var ErrClosed = errors.New("classifier: closed")
 
+// ErrNotSupported is returned by control-plane operations (Insert, Delete,
+// Save, Load, Rules) on a shared-memory transport handle: the classifier
+// lives in the serving process, which owns the backend, its updates and its
+// artifacts. Drive those through the serving process (classifyd's -query,
+// or its own SDK handle).
+var ErrNotSupported = errors.New("classifier: operation not supported over the shared-memory transport")
+
 // Classifier is an open classification engine: a built (or artifact-loaded)
 // backend with sharded batch lookup, atomic rule updates and optional
 // online-update durability. Lookups and updates are safe for concurrent
@@ -101,6 +109,10 @@ type Classifier struct {
 	// dp is non-nil when WithDataplane routed lookups through per-core
 	// run-to-completion loops; control-plane calls still go to eng.
 	dp *dataplane.Dataplane
+	// shm is non-nil when WithSharedMemory connected this handle to a
+	// serving process's descriptor ring instead of a local engine (eng and
+	// dp are then nil, and control-plane calls fail with ErrNotSupported).
+	shm *iface.ShmClient
 	// tel is non-nil when WithTelemetry/WithSlowThreshold armed the online
 	// latency telemetry.
 	tel    *telemetry.Telemetry
@@ -116,6 +128,20 @@ func Open(rules *RuleSet, opts ...Option) (*Classifier, error) {
 	cfg.backend = "hicuts"
 	for _, opt := range opts {
 		opt(&cfg)
+	}
+	if cfg.shmPath != "" {
+		if rules != nil {
+			return nil, errors.New("classifier: WithSharedMemory connects to a serving process; pass nil rules")
+		}
+		if cfg.artifact != "" || cfg.dataplane || cfg.telemetry ||
+			cfg.opts != (engine.Options{}) {
+			return nil, errors.New("classifier: WithSharedMemory is a pure transport; engine-configuring options belong to the serving process")
+		}
+		shm, err := iface.OpenShmClient(cfg.shmPath, iface.ShmClientConfig{Timeout: cfg.shmTimeout})
+		if err != nil {
+			return nil, err
+		}
+		return &Classifier{shm: shm}, nil
 	}
 	// With the dataplane in front, the engine's sharded flow cache would
 	// never be consulted — move the WithFlowCache budget to the dataplane's
@@ -179,6 +205,19 @@ func (c *Classifier) Classify(ctx context.Context, key Packet) (match Rule, ok b
 	if err := ctx.Err(); err != nil {
 		return Rule{}, false, err
 	}
+	if c.shm != nil {
+		// Over the ring only the winning rule's identity comes back — ID
+		// and priority, as over wire protocol v2. The ranges stay on the
+		// serving side.
+		id, priority, ok, err := c.shm.Classify(key)
+		if err != nil {
+			return Rule{}, false, err
+		}
+		if !ok {
+			return Rule{}, false, nil
+		}
+		return Rule{ID: id, Priority: priority}, true, nil
+	}
 	if c.dp != nil {
 		match, ok = c.dp.Classify(key)
 	} else {
@@ -204,9 +243,14 @@ func (c *Classifier) ClassifyBatch(ctx context.Context, keys []Packet) ([]Result
 		if hi > len(keys) {
 			hi = len(keys)
 		}
-		if c.dp != nil {
+		switch {
+		case c.shm != nil:
+			if err := c.shm.ClassifyBatchInto(keys[lo:hi], out[lo:hi]); err != nil {
+				return nil, err
+			}
+		case c.dp != nil:
 			c.dp.ClassifyBatch(keys[lo:hi], out[lo:hi])
-		} else {
+		default:
 			c.eng.ClassifyBatch(keys[lo:hi], out[lo:hi])
 		}
 	}
@@ -224,6 +268,9 @@ func (c *Classifier) Insert(pos int, r Rule) (UpdateResult, error) {
 	if c.closed.Load() {
 		return UpdateResult{}, ErrClosed
 	}
+	if c.shm != nil {
+		return UpdateResult{}, ErrNotSupported
+	}
 	return c.eng.Insert(pos, r)
 }
 
@@ -233,6 +280,9 @@ func (c *Classifier) Insert(pos int, r Rule) (UpdateResult, error) {
 func (c *Classifier) Delete(id int) (UpdateResult, error) {
 	if c.closed.Load() {
 		return UpdateResult{}, ErrClosed
+	}
+	if c.shm != nil {
+		return UpdateResult{}, ErrNotSupported
 	}
 	return c.eng.Delete(id)
 }
@@ -245,6 +295,9 @@ func (c *Classifier) Save(path string) error {
 	if c.closed.Load() {
 		return ErrClosed
 	}
+	if c.shm != nil {
+		return ErrNotSupported
+	}
 	return c.eng.SaveArtifact(path)
 }
 
@@ -254,6 +307,9 @@ func (c *Classifier) Save(path string) error {
 func (c *Classifier) Load(path string) (UpdateResult, error) {
 	if c.closed.Load() {
 		return UpdateResult{}, ErrClosed
+	}
+	if c.shm != nil {
+		return UpdateResult{}, ErrNotSupported
 	}
 	return c.eng.LoadArtifact(path)
 }
@@ -328,10 +384,15 @@ type TelemetryStats struct {
 	SlowCaptured  uint64
 }
 
-// Stats returns a point-in-time summary of the classifier.
+// Stats returns a point-in-time summary of the classifier. A shared-memory
+// transport handle reports only its backend label ("shm"): sizes, versions
+// and metrics live in the serving process.
 func (c *Classifier) Stats() Stats {
 	if c.closed.Load() {
 		return Stats{}
+	}
+	if c.shm != nil {
+		return Stats{Backend: "shm"}
 	}
 	u := c.eng.UpdaterStats()
 	dpCores := 0
@@ -397,7 +458,7 @@ func (c *Classifier) AdminHandler() http.Handler {
 // Rules returns the classifier's current rule list snapshot. The returned
 // set is immutable; updates publish a new one.
 func (c *Classifier) Rules() *RuleSet {
-	if c.closed.Load() {
+	if c.closed.Load() || c.shm != nil {
 		return nil
 	}
 	return c.eng.Rules()
@@ -408,6 +469,9 @@ func (c *Classifier) Backend() string {
 	if c.closed.Load() {
 		return ""
 	}
+	if c.shm != nil {
+		return "shm"
+	}
 	return c.eng.Backend()
 }
 
@@ -417,6 +481,9 @@ func (c *Classifier) Backend() string {
 func (c *Classifier) Close() error {
 	if c.closed.Swap(true) {
 		return nil
+	}
+	if c.shm != nil {
+		return c.shm.Close()
 	}
 	// The dataplane registered itself as an engine closer at Attach, so the
 	// engine drains and stops the loops first, then tears itself down —

@@ -16,6 +16,8 @@ type config struct {
 	telemetry      bool
 	slowThreshold  time.Duration
 	slowSet        bool
+	shmPath        string
+	shmTimeout     time.Duration
 }
 
 // Option configures Open.
@@ -91,6 +93,23 @@ func WithDataplane(cores int) Option {
 	return func(c *config) {
 		c.dataplane = true
 		c.dataplaneCores = cores
+	}
+}
+
+// WithSharedMemory connects to a serving process's shared-memory ring at
+// path instead of building a local classifier — the transport a co-located
+// classifyd exposes with -shm. Lookups cross a file-backed mmap descriptor
+// ring (two SPSC rings, no sockets, no syscalls on the hot path) and return
+// the winning rule's ID and priority, exactly as wire protocol v2 does over
+// TCP. Open's rules argument must be nil, and every other option is
+// rejected: the classifier lives in the serving process, which owns the
+// backend, updates and artifacts — control-plane calls on this handle fail
+// with ErrNotSupported. Open waits up to timeout for the serving process to
+// create and initialise the ring (0 selects 5s).
+func WithSharedMemory(path string, timeout time.Duration) Option {
+	return func(c *config) {
+		c.shmPath = path
+		c.shmTimeout = timeout
 	}
 }
 
